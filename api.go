@@ -1,0 +1,250 @@
+package mtmrp
+
+import (
+	"os"
+
+	"mtmrp/internal/centralized"
+	"mtmrp/internal/experiment"
+	"mtmrp/internal/geom"
+	"mtmrp/internal/graph"
+	"mtmrp/internal/metrics"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/stats"
+	"mtmrp/internal/topology"
+	"mtmrp/internal/trace"
+)
+
+// Protocol selects the routing protocol under test.
+type Protocol = experiment.Protocol
+
+// The distributed protocols of the paper's evaluation (Figures 5–10) plus
+// the flooding strawman from its introduction.
+const (
+	MTMRP      = experiment.MTMRP
+	MTMRPNoPHS = experiment.MTMRPNoPHS
+	DODMRP     = experiment.DODMRP
+	ODMRP      = experiment.ODMRP
+	Flooding   = experiment.Flooding
+	GMR        = experiment.GMR
+)
+
+// AllProtocols lists the four protocols of Figures 5–8 in legend order.
+var AllProtocols = experiment.AllProtocols
+
+// Core simulation types, re-exported from the internal implementation.
+type (
+	// Scenario describes one simulated multicast session.
+	Scenario = experiment.Scenario
+	// Outcome bundles a session's metrics with its network state.
+	Outcome = experiment.Outcome
+	// Result carries the paper's evaluation metrics for one session.
+	Result = metrics.Result
+	// Topology is an immutable node deployment with its connectivity.
+	Topology = topology.Topology
+	// Summary is a Monte-Carlo statistic (mean, CI95, min/max).
+	Summary = stats.Summary
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Time
+	// Snapshot renders a field view in the style of Figures 9–10.
+	Snapshot = trace.Snapshot
+	// Tree is a centralized multicast-tree construction result.
+	Tree = centralized.Tree
+)
+
+// Virtual-time units for Scenario.Delta and friends.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Run executes one complete multicast session: HELLO phase, JoinQuery
+// flood, JoinReply tree construction, one data packet down the tree.
+func Run(sc Scenario) (*Outcome, error) { return experiment.Run(sc) }
+
+// Grid returns the paper's 10x10 grid deployment (200x200 m, 40 m range).
+func Grid() *Topology { return topology.PaperGrid() }
+
+// RandomTopology returns a connected uniform-random deployment of n nodes
+// in a side x side field with the given transmission range, source pinned
+// at the origin.
+func RandomTopology(n int, side, txRange float64, seed uint64) (*Topology, error) {
+	return topology.RandomConnected(n, side, txRange, rng.New(seed), 100)
+}
+
+// PaperRandomTopology returns the paper's random deployment: 200 nodes,
+// 200x200 m, 40 m range.
+func PaperRandomTopology(seed uint64) (*Topology, error) {
+	return topology.PaperRandom(rng.New(seed))
+}
+
+// Point is a node position in meters.
+type Point = geom.Point
+
+// CustomTopology builds a deployment from explicit node positions.
+func CustomTopology(points []Point, side, txRange float64) (*Topology, error) {
+	return topology.FromPositions(points, side, txRange)
+}
+
+// LoadTopology reads a deployment saved by Topology.Save (or cmd/topogen).
+func LoadTopology(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return topology.Load(f)
+}
+
+// SaveTopology writes a deployment to a file for pinned scenarios.
+func SaveTopology(t *Topology, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// PickReceivers draws k distinct multicast receivers reachable from
+// source, uniformly at random.
+func PickReceivers(t *Topology, source, k int, seed uint64) ([]int, error) {
+	return t.PickReceivers(source, k, rng.New(seed))
+}
+
+// Sweep types and drivers for reproducing the figures.
+type (
+	// SweepConfig parameterises a group-size sweep (Figures 5–6).
+	SweepConfig = experiment.SweepConfig
+	// SweepResult holds per-(protocol, size, metric) summaries.
+	SweepResult = experiment.SweepResult
+	// TuningConfig parameterises the N x delta sweep (Figures 7–8).
+	TuningConfig = experiment.TuningConfig
+	// TuningResult holds the overhead surface per protocol.
+	TuningResult = experiment.TuningResult
+	// Metric indexes the evaluation metrics of Figures 5–6.
+	Metric = experiment.Metric
+	// TopoKind selects the evaluation topology family.
+	TopoKind = experiment.TopoKind
+)
+
+// Topology families of the paper's evaluation.
+const (
+	GridTopo   = experiment.GridTopo
+	RandomTopo = experiment.RandomTopo
+)
+
+// Metrics of Figures 5–6.
+const (
+	MetricOverhead    = experiment.MetricOverhead
+	MetricExtraNodes  = experiment.MetricExtraNodes
+	MetricRelayProfit = experiment.MetricRelayProfit
+	MetricDelivery    = experiment.MetricDelivery
+)
+
+// GroupSizeSweep runs the Monte-Carlo study behind Figure 5 (grid) or
+// Figure 6 (random topology).
+func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
+	return experiment.GroupSizeSweep(cfg)
+}
+
+// TuningSweep runs the N x delta parameter study behind Figures 7–8.
+func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
+	return experiment.TuningSweep(cfg)
+}
+
+// Ablation study types: the per-mechanism breakdown of MTMRP's savings
+// (beyond the paper, which only ablates PHS).
+type (
+	// AblationConfig parameterises the mechanism ablation study.
+	AblationConfig = experiment.AblationConfig
+	// AblationResult maps variant names to metric summaries.
+	AblationResult = experiment.AblationResult
+)
+
+// AblationSweep measures each MTMRP mechanism's contribution.
+func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
+	return experiment.AblationSweep(cfg)
+}
+
+// Amortization study types: per-packet cost as the constructed tree is
+// reused for more data packets (§V.B.3's trade-off discussion).
+type (
+	// AmortizeConfig parameterises the amortization study.
+	AmortizeConfig = experiment.AmortizeConfig
+	// AmortizeResult holds per-(protocol, packet-count) outcomes.
+	AmortizeResult = experiment.AmortizeResult
+)
+
+// AmortizeSweep measures total frames per delivered data packet as the
+// session length grows.
+func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
+	return experiment.AmortizeSweep(cfg)
+}
+
+// Shadowing robustness study types: the Figure 5 comparison re-run under
+// log-normal fading (which the paper's evaluation disables).
+type (
+	// ShadowingConfig parameterises the robustness study.
+	ShadowingConfig = experiment.ShadowingConfig
+	// ShadowingResult holds per-(protocol, sigma) summaries.
+	ShadowingResult = experiment.ShadowingResult
+)
+
+// ShadowingSweep runs the fading robustness study.
+func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
+	return experiment.ShadowingSweep(cfg)
+}
+
+// SnapshotRun reproduces one panel of Figures 9–10: a single session whose
+// forwarder set is rendered as an ASCII field view.
+func SnapshotRun(kind TopoKind, groupSize int, p Protocol, seed uint64) (*Snapshot, *Outcome, error) {
+	return experiment.SnapshotRun(kind, groupSize, p, seed)
+}
+
+// Centralized tree constructions (§IV.A / Fig. 1 comparators).
+
+// SPTTree builds the shortest-path multicast tree over a topology.
+func SPTTree(t *Topology, source int, receivers []int) (*Tree, error) {
+	return centralized.SPT(topoGraph(t), source, receivers)
+}
+
+// SteinerTree builds the KMB Steiner-tree approximation.
+func SteinerTree(t *Topology, source int, receivers []int) (*Tree, error) {
+	return centralized.Steiner(topoGraph(t), source, receivers)
+}
+
+// NodeJoinTreeTree builds Jia et al.'s Node-Join-Tree heuristic (cheapest
+// insertion), one of the centralized comparators the paper cites.
+func NodeJoinTreeTree(t *Topology, source int, receivers []int) (*Tree, error) {
+	return centralized.NodeJoinTree(topoGraph(t), source, receivers)
+}
+
+// TreeJoinTreeTree builds Jia et al.'s Tree-Join-Tree heuristic
+// (Kruskal-style merging).
+func TreeJoinTreeTree(t *Topology, source int, receivers []int) (*Tree, error) {
+	return centralized.TreeJoinTree(topoGraph(t), source, receivers)
+}
+
+// MinTransmissionTree builds the greedy minimum-transmission tree that
+// exploits the wireless broadcast advantage (Fig. 1(c)).
+func MinTransmissionTree(t *Topology, source int, receivers []int) (*Tree, error) {
+	return centralized.MinTransmission(topoGraph(t), source, receivers)
+}
+
+func topoGraph(t *Topology) *graph.Graph {
+	adj := make([][]int, t.N())
+	for i := range adj {
+		adj[i] = t.Neighbors(i)
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// NewSnapshot builds a field snapshot from explicit node sets.
+func NewSnapshot(t *Topology, source int, receivers, forwarders []int) *Snapshot {
+	return trace.NewSnapshot(t.Side, t.Positions, source, receivers, forwarders)
+}

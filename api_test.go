@@ -1,0 +1,118 @@
+package mtmrp_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtmrp"
+)
+
+func TestGridFacade(t *testing.T) {
+	topo := mtmrp.Grid()
+	if topo.N() != 100 || topo.Side != 200 || topo.Range != 40 {
+		t.Errorf("paper grid wrong: n=%d side=%v range=%v", topo.N(), topo.Side, topo.Range)
+	}
+}
+
+func TestRandomTopologyFacade(t *testing.T) {
+	topo, err := mtmrp.RandomTopology(50, 150, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 50 || !topo.Connected() {
+		t.Errorf("random topology: n=%d connected=%v", topo.N(), topo.Connected())
+	}
+}
+
+func TestPaperRandomFacade(t *testing.T) {
+	topo, err := mtmrp.PaperRandomTopology(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 200 {
+		t.Errorf("n = %d", topo.N())
+	}
+}
+
+func TestCustomTopologyFacade(t *testing.T) {
+	topo, err := mtmrp.CustomTopology([]mtmrp.Point{{X: 0, Y: 0}, {X: 30, Y: 0}}, 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Degree(0) != 1 {
+		t.Error("adjacency missing")
+	}
+	if _, err := mtmrp.CustomTopology([]mtmrp.Point{{X: 0, Y: 0}}, 100, 40); err == nil {
+		t.Error("single-node topology should fail")
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	topo := mtmrp.Grid()
+	rcv, err := mtmrp.PickReceivers(topo, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mtmrp.Run(mtmrp.Scenario{
+		Topo: topo, Source: 0, Receivers: rcv,
+		Protocol: mtmrp.MTMRP, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Result
+	if r.Transmissions <= 0 || r.Transmissions > 100 {
+		t.Errorf("Transmissions = %d", r.Transmissions)
+	}
+	if r.EnergyTotalJ <= 0 || r.EnergyMaxNodeJ <= 0 {
+		t.Error("energy accounting missing")
+	}
+	if r.EnergyMaxNodeJ > r.EnergyTotalJ {
+		t.Error("hotspot exceeds network total")
+	}
+}
+
+func TestCentralizedTreeFacade(t *testing.T) {
+	topo := mtmrp.Grid()
+	rcv, _ := mtmrp.PickReceivers(topo, 0, 5, 2)
+	for _, fn := range []func(*mtmrp.Topology, int, []int) (*mtmrp.Tree, error){
+		mtmrp.SPTTree, mtmrp.SteinerTree, mtmrp.MinTransmissionTree,
+	} {
+		tr, err := fn(topo, 0, rcv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Transmissions() < 1 {
+			t.Error("degenerate tree")
+		}
+	}
+}
+
+func TestSnapshotFacade(t *testing.T) {
+	topo := mtmrp.Grid()
+	snap := mtmrp.NewSnapshot(topo, 0, []int{5, 10}, []int{1})
+	out := snap.Render()
+	if !strings.Contains(out, "S") || !strings.Contains(out, "#") {
+		t.Error("render incomplete")
+	}
+	tx, extra := snap.Counts()
+	if tx != 2 || extra != 1 {
+		t.Errorf("counts = %d/%d", tx, extra)
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
+		Topo:      mtmrp.GridTopo,
+		Sizes:     []int{5},
+		Runs:      2,
+		Seed:      1,
+		Protocols: []mtmrp.Protocol{mtmrp.MTMRP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell(mtmrp.MTMRP, 0, mtmrp.MetricOverhead).N != 2 {
+		t.Error("sweep incomplete")
+	}
+}

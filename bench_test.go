@@ -1,0 +1,190 @@
+package mtmrp_test
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// times a single representative session (or construction) of the figure's
+// workload and reports the figure's headline metric alongside ns/op, so
+// `go test -bench=. -benchmem` regenerates the paper's comparisons in
+// miniature. The full Monte-Carlo figures (100 runs per point) come from
+// `go run ./cmd/repro -fig N`.
+
+import (
+	"fmt"
+	"testing"
+
+	"mtmrp"
+)
+
+// benchScenario runs protocol p once per iteration on the given topology
+// kind and group size, reporting mean transmissions and extra nodes.
+func benchScenario(b *testing.B, kind mtmrp.TopoKind, groupSize int, p mtmrp.Protocol, n int, delta mtmrp.Duration) {
+	b.Helper()
+	var topo *mtmrp.Topology
+	var err error
+	if kind == mtmrp.GridTopo {
+		topo = mtmrp.Grid()
+	} else {
+		topo, err = mtmrp.PaperRandomTopology(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	receivers, err := mtmrp.PickReceivers(topo, 0, groupSize, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tx, extra float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := mtmrp.Run(mtmrp.Scenario{
+			Topo:      topo,
+			Source:    0,
+			Receivers: receivers,
+			Protocol:  p,
+			N:         n,
+			Delta:     delta,
+			Seed:      uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx += float64(out.Result.Transmissions)
+		extra += float64(out.Result.ExtraNodes)
+	}
+	b.ReportMetric(tx/float64(b.N), "transmissions/op")
+	b.ReportMetric(extra/float64(b.N), "extranodes/op")
+}
+
+// BenchmarkFig1Trees regenerates the Fig. 1 comparison: the three
+// centralized multicast-tree constructions on the evaluation grid.
+func BenchmarkFig1Trees(b *testing.B) {
+	topo := mtmrp.Grid()
+	receivers, err := mtmrp.PickReceivers(topo, 0, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builds := []struct {
+		name string
+		fn   func(*mtmrp.Topology, int, []int) (*mtmrp.Tree, error)
+	}{
+		{"SPT", mtmrp.SPTTree},
+		{"Steiner", mtmrp.SteinerTree},
+		{"MinTransmission", mtmrp.MinTransmissionTree},
+	}
+	for _, bd := range builds {
+		b.Run(bd.name, func(b *testing.B) {
+			var tx float64
+			for i := 0; i < b.N; i++ {
+				tr, err := bd.fn(topo, 0, receivers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx += float64(tr.Transmissions())
+			}
+			b.ReportMetric(tx/float64(b.N), "transmissions/op")
+		})
+	}
+}
+
+// BenchmarkFig5GridOverhead regenerates Fig. 5's comparison point at the
+// paper's snapshot group size (20 receivers, grid topology).
+func BenchmarkFig5GridOverhead(b *testing.B) {
+	for _, p := range mtmrp.AllProtocols {
+		b.Run(p.String(), func(b *testing.B) {
+			benchScenario(b, mtmrp.GridTopo, 20, p, 4, mtmrp.Millisecond)
+		})
+	}
+}
+
+// BenchmarkFig6RandomOverhead regenerates Fig. 6's comparison point at 15
+// receivers on the 200-node random topology.
+func BenchmarkFig6RandomOverhead(b *testing.B) {
+	for _, p := range mtmrp.AllProtocols {
+		b.Run(p.String(), func(b *testing.B) {
+			benchScenario(b, mtmrp.RandomTopo, 15, p, 4, mtmrp.Millisecond)
+		})
+	}
+}
+
+// BenchmarkFig7Tuning samples the corners of Fig. 7's N x delta surface
+// (grid, 20 receivers) for MTMRP.
+func BenchmarkFig7Tuning(b *testing.B) {
+	corners := []struct {
+		n     int
+		delta mtmrp.Duration
+	}{
+		{3, mtmrp.Millisecond},
+		{3, 30 * mtmrp.Millisecond},
+		{6, mtmrp.Millisecond},
+		{6, 30 * mtmrp.Millisecond},
+	}
+	for _, c := range corners {
+		b.Run(fmt.Sprintf("N%d-delta%dms", c.n, c.delta/mtmrp.Millisecond), func(b *testing.B) {
+			benchScenario(b, mtmrp.GridTopo, 20, mtmrp.MTMRP, c.n, c.delta)
+		})
+	}
+}
+
+// BenchmarkFig8TuningRandom samples Fig. 8's surface corners (random
+// topology, 15 receivers).
+func BenchmarkFig8TuningRandom(b *testing.B) {
+	corners := []struct {
+		n     int
+		delta mtmrp.Duration
+	}{
+		{3, mtmrp.Millisecond},
+		{6, 30 * mtmrp.Millisecond},
+	}
+	for _, c := range corners {
+		b.Run(fmt.Sprintf("N%d-delta%dms", c.n, c.delta/mtmrp.Millisecond), func(b *testing.B) {
+			benchScenario(b, mtmrp.RandomTopo, 15, mtmrp.MTMRP, c.n, c.delta)
+		})
+	}
+}
+
+// BenchmarkFig9Snapshot regenerates the Fig. 9 panels (grid snapshots).
+func BenchmarkFig9Snapshot(b *testing.B) {
+	for _, p := range []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.DODMRP, mtmrp.ODMRP} {
+		b.Run(p.String(), func(b *testing.B) {
+			var tx float64
+			for i := 0; i < b.N; i++ {
+				snap, out, err := mtmrp.SnapshotRun(mtmrp.GridTopo, 20, p, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = snap.Render()
+				tx += float64(out.Result.Transmissions)
+			}
+			b.ReportMetric(tx/float64(b.N), "transmissions/op")
+		})
+	}
+}
+
+// BenchmarkFig10Snapshot regenerates the Fig. 10 panels (random-field
+// snapshots).
+func BenchmarkFig10Snapshot(b *testing.B) {
+	for _, p := range []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.DODMRP, mtmrp.ODMRP} {
+		b.Run(p.String(), func(b *testing.B) {
+			var tx float64
+			for i := 0; i < b.N; i++ {
+				snap, out, err := mtmrp.SnapshotRun(mtmrp.RandomTopo, 15, p, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = snap.Render()
+				tx += float64(out.Result.Transmissions)
+			}
+			b.ReportMetric(tx/float64(b.N), "transmissions/op")
+		})
+	}
+}
+
+// BenchmarkFloodingBaseline times the introduction's strawman for scale.
+func BenchmarkFloodingBaseline(b *testing.B) {
+	benchScenario(b, mtmrp.GridTopo, 20, mtmrp.Flooding, 4, mtmrp.Millisecond)
+}
+
+// BenchmarkGMRBaseline times the stateless geographic baseline (related
+// work, §II) on the Figure 5 comparison point.
+func BenchmarkGMRBaseline(b *testing.B) {
+	benchScenario(b, mtmrp.GridTopo, 20, mtmrp.GMR, 4, mtmrp.Millisecond)
+}

@@ -1,0 +1,142 @@
+// Command mtmrsim runs a single multicast session and reports the paper's
+// metrics, optionally rendering the forwarder field:
+//
+//	mtmrsim -topo grid -proto mtmrp -receivers 20 -seed 7 -snapshot
+//	mtmrsim -topo random -nodes 200 -proto odmrp -receivers 15
+//
+// Protocols: mtmrp, mtmrp-nophs, dodmrp, odmrp, flood.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtmrp"
+)
+
+func main() {
+	var (
+		topoKind = flag.String("topo", "grid", "topology: grid, random, or file (with -topofile)")
+		topoFile = flag.String("topofile", "", "load a topology saved by topogen")
+		nodes    = flag.Int("nodes", 200, "node count for random topology")
+		side     = flag.Float64("side", 200, "field edge length (m)")
+		txRange  = flag.Float64("range", 40, "transmission range (m)")
+		protoArg = flag.String("proto", "mtmrp", "protocol: mtmrp, mtmrp-nophs, dodmrp, odmrp, flood, gmr")
+		rcvCount = flag.Int("receivers", 20, "multicast group size")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		nParam   = flag.Int("n", 4, "biased backoff parameter N")
+		deltaMs  = flag.Float64("delta", 1, "slot unit delta in milliseconds")
+		snapshot = flag.Bool("snapshot", false, "render the forwarder field")
+		verbose  = flag.Bool("v", false, "print per-type transmission counts")
+		traceOut = flag.String("trace", "", "write a JSONL event log to this file (see traceview)")
+	)
+	flag.Parse()
+
+	if err := run(*topoKind, *topoFile, *nodes, *side, *txRange, *protoArg, *rcvCount,
+		*seed, *nParam, *deltaMs, *snapshot, *verbose, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "mtmrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg string,
+	rcvCount int, seed uint64, nParam int, deltaMs float64, snapshot, verbose bool,
+	traceOut string) error {
+
+	var topo *mtmrp.Topology
+	var err error
+	switch {
+	case topoFile != "":
+		topo, err = mtmrp.LoadTopology(topoFile)
+		if err != nil {
+			return err
+		}
+	case topoKind == "grid":
+		topo = mtmrp.Grid()
+	case topoKind == "random":
+		topo, err = mtmrp.RandomTopology(nodes, side, txRange, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown topology %q (want grid or random)", topoKind)
+	}
+
+	proto, err := parseProtocol(protoArg)
+	if err != nil {
+		return err
+	}
+
+	rcv, err := mtmrp.PickReceivers(topo, 0, rcvCount, seed+1)
+	if err != nil {
+		return err
+	}
+
+	sc := mtmrp.Scenario{
+		Topo:      topo,
+		Source:    0,
+		Receivers: rcv,
+		Protocol:  proto,
+		N:         nParam,
+		Delta:     mtmrp.Duration(deltaMs * float64(mtmrp.Millisecond)),
+		Seed:      seed,
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc.TraceWriter = f
+	}
+	out, err := mtmrp.Run(sc)
+	if err != nil {
+		return err
+	}
+	r := out.Result
+	fmt.Printf("protocol:                %s\n", proto)
+	fmt.Printf("topology:                %s (%d nodes, %.0fm field, %.0fm range)\n",
+		topo.Kind(), topo.N(), topo.Side, topo.Range)
+	fmt.Printf("group size:              %d\n", r.ReceiverCount)
+	fmt.Printf("transmission overhead:   %d\n", r.Transmissions)
+	fmt.Printf("extra nodes:             %d\n", r.ExtraNodes)
+	fmt.Printf("average relay profit:    %.3f\n", r.AvgRelayProfit)
+	fmt.Printf("delivery:                %d/%d (%.1f%%)\n",
+		r.ReceiversReached, r.ReceiverCount, 100*r.DeliveryRatio)
+	fmt.Printf("control transmissions:   %d\n", r.ControlTx)
+	if verbose {
+		fmt.Printf("tx by type:              HELLO=%d JQ=%d JR=%d DATA=%d\n",
+			r.TxByType[0], r.TxByType[1], r.TxByType[2], r.TxByType[3])
+		fmt.Printf("bytes on air:            %d\n", r.BytesTx)
+	}
+	if snapshot {
+		var fwd []int
+		for _, f := range r.Forwarders {
+			fwd = append(fwd, int(f))
+		}
+		fmt.Println()
+		fmt.Print(mtmrp.NewSnapshot(topo, 0, rcv, fwd).Render())
+	}
+	return nil
+}
+
+func parseProtocol(s string) (mtmrp.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "mtmrp":
+		return mtmrp.MTMRP, nil
+	case "mtmrp-nophs", "nophs":
+		return mtmrp.MTMRPNoPHS, nil
+	case "dodmrp":
+		return mtmrp.DODMRP, nil
+	case "odmrp":
+		return mtmrp.ODMRP, nil
+	case "flood", "flooding":
+		return mtmrp.Flooding, nil
+	case "gmr", "geographic":
+		return mtmrp.GMR, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}

@@ -1,0 +1,384 @@
+// Command repro regenerates every figure of the paper's evaluation
+// section from the reproduction:
+//
+//	repro -fig 1            Fig. 1  — SPT vs Steiner vs min-transmission tree
+//	repro -fig 5            Fig. 5  — grid topology, group-size sweep (3 metrics)
+//	repro -fig 6            Fig. 6  — random topology, group-size sweep
+//	repro -fig 7            Fig. 7  — N x delta tuning surface, grid
+//	repro -fig 8            Fig. 8  — N x delta tuning surface, random
+//	repro -fig 9            Fig. 9  — grid snapshot, 20 receivers
+//	repro -fig 10           Fig. 10 — random snapshot, 15 receivers
+//	repro -fig all          everything above
+//
+// -runs controls the Monte-Carlo rounds per point (paper: 100); lower it
+// for a quick look. Output is plain text tables: each figure's series with
+// mean ± 95% CI.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mtmrp"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to reproduce: 1, 5, 6, 7, 8, 9, 10, ablation, amortize, shadowing, or all")
+		runs    = flag.Int("runs", 100, "Monte-Carlo rounds per data point")
+		seed    = flag.Uint64("seed", 2010, "base seed for the sweep")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		gmr     = flag.Bool("with-gmr", false, "add the geographic multicast baseline to Figures 5-6")
+	)
+	flag.Parse()
+	withGMR = *gmr
+	csvOut = *csvDir
+	if csvOut != "" {
+		if err := os.MkdirAll(csvOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	var err error
+	switch *fig {
+	case "1":
+		err = fig1()
+	case "5":
+		err = figGroupSweep(mtmrp.GridTopo, *runs, *seed, *workers)
+	case "6":
+		err = figGroupSweep(mtmrp.RandomTopo, *runs, *seed, *workers)
+	case "7":
+		err = figTuning(mtmrp.GridTopo, *runs, *seed, *workers)
+	case "8":
+		err = figTuning(mtmrp.RandomTopo, *runs, *seed, *workers)
+	case "9":
+		err = figSnapshot(mtmrp.GridTopo, 20, *seed)
+	case "10":
+		err = figSnapshot(mtmrp.RandomTopo, 15, *seed)
+	case "ablation":
+		err = figAblation(*runs, *seed, *workers)
+	case "amortize":
+		err = figAmortize(*runs, *seed)
+	case "shadowing":
+		err = figShadowing(*runs, *seed)
+	case "all":
+		for _, f := range []func() error{
+			fig1,
+			func() error { return figGroupSweep(mtmrp.GridTopo, *runs, *seed, *workers) },
+			func() error { return figGroupSweep(mtmrp.RandomTopo, *runs, *seed, *workers) },
+			func() error { return figTuning(mtmrp.GridTopo, *runs, *seed, *workers) },
+			func() error { return figTuning(mtmrp.RandomTopo, *runs, *seed, *workers) },
+			func() error { return figSnapshot(mtmrp.GridTopo, 20, *seed) },
+			func() error { return figSnapshot(mtmrp.RandomTopo, 15, *seed) },
+			func() error { return figAblation(*runs, *seed, *workers) },
+			func() error { return figAmortize(*runs, *seed) },
+			func() error { return figShadowing(*runs, *seed) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[done in %v]\n", time.Since(start).Round(time.Millisecond))
+}
+
+// csvOut, when non-empty, is the directory CSV series are written into.
+var csvOut string
+
+// withGMR adds the geographic baseline to the group-size sweeps.
+var withGMR bool
+
+// writeCSV writes rows (first row = header) to <csvDir>/<name>.csv.
+func writeCSV(name string, rows [][]string) error {
+	if csvOut == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOut, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fig1 reproduces the motivating example: three tree constructions over
+// the paper's didactic network and over the evaluation grid.
+func fig1() error {
+	fmt.Println("=== Figure 1: multicast trees under three path-selection metrics ===")
+	fmt.Println("(paper's example: SPT 7 tx, minimum Steiner 7 tx, minimum-transmission 4 tx)")
+	topo := mtmrp.Grid()
+	rcv, err := mtmrp.PickReceivers(topo, 0, 5, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n10x10 evaluation grid, 5 random receivers (seed 1): %v\n\n", rcv)
+	type build struct {
+		name string
+		fn   func(*mtmrp.Topology, int, []int) (*mtmrp.Tree, error)
+	}
+	for _, b := range []build{
+		{"shortest-path tree (Fig. 1a)", mtmrp.SPTTree},
+		{"Steiner tree, KMB (Fig. 1b)", mtmrp.SteinerTree},
+		{"Node-Join-Tree (Jia et al. [3])", mtmrp.NodeJoinTreeTree},
+		{"Tree-Join-Tree (Jia et al. [3])", mtmrp.TreeJoinTreeTree},
+		{"min-transmission tree (Fig. 1c)", mtmrp.MinTransmissionTree},
+	} {
+		tr, err := b.fn(topo, 0, rcv)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		fmt.Printf("  %-34s transmissions=%2d  extra nodes=%2d\n",
+			b.name, tr.Transmissions(), tr.ExtraNodes())
+	}
+	return nil
+}
+
+func figGroupSweep(kind mtmrp.TopoKind, runs int, seed uint64, workers int) error {
+	figNo := 5
+	if kind == mtmrp.RandomTopo {
+		figNo = 6
+	}
+	fmt.Printf("=== Figure %d: %s topology, group-size sweep (%d runs/point) ===\n",
+		figNo, kind, runs)
+	protos := mtmrp.AllProtocols
+	if withGMR {
+		protos = append(append([]mtmrp.Protocol(nil), protos...), mtmrp.GMR)
+	}
+	res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
+		Topo: kind, Runs: runs, Seed: seed, Workers: workers, Protocols: protos,
+	})
+	if err != nil {
+		return err
+	}
+	sizes := res.Config.Sizes
+	metrics := []struct {
+		m     mtmrp.Metric
+		label string
+	}{
+		{mtmrp.MetricOverhead, fmt.Sprintf("(%da) normalized transmission overhead", figNo)},
+		{mtmrp.MetricExtraNodes, fmt.Sprintf("(%db) number of extra nodes", figNo)},
+		{mtmrp.MetricRelayProfit, fmt.Sprintf("(%dc) average relay profit", figNo)},
+		{mtmrp.MetricDelivery, "(extra) delivery ratio"},
+	}
+	for mi, mm := range metrics {
+		fmt.Printf("\n--- %s ---\n", mm.label)
+		fmt.Printf("%6s", "size")
+		for _, p := range res.Config.Protocols {
+			fmt.Printf("  %-16s", p)
+		}
+		fmt.Println()
+		rows := [][]string{{"size"}}
+		for _, p := range res.Config.Protocols {
+			rows[0] = append(rows[0], p.String()+"_mean", p.String()+"_ci95")
+		}
+		for si, size := range sizes {
+			fmt.Printf("%6d", size)
+			row := []string{fmt.Sprint(size)}
+			for _, p := range res.Config.Protocols {
+				s := res.Cell(p, si, mm.m)
+				fmt.Printf("  %7.2f ± %-5.2f ", s.Mean, s.CI95)
+				row = append(row, fmt.Sprintf("%.4f", s.Mean), fmt.Sprintf("%.4f", s.CI95))
+			}
+			rows = append(rows, row)
+			fmt.Println()
+		}
+		name := fmt.Sprintf("fig%d%c_%s", figNo, 'a'+mi, kind)
+		if err := writeCSV(name, rows); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func figTuning(kind mtmrp.TopoKind, runs int, seed uint64, workers int) error {
+	figNo, size := 7, 20
+	if kind == mtmrp.RandomTopo {
+		figNo, size = 8, 15
+	}
+	fmt.Printf("=== Figure %d: tuning N and delta, %s topology, %d receivers (%d runs/point) ===\n",
+		figNo, kind, size, runs)
+	res, err := mtmrp.TuningSweep(mtmrp.TuningConfig{
+		Topo: kind, GroupSize: size, Runs: runs, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Config.Protocols {
+		fmt.Printf("\n--- %s: normalized transmission overhead ---\n", p)
+		fmt.Printf("%8s", "N \\ δms")
+		rows := [][]string{{"N"}}
+		for _, d := range res.Config.Deltas {
+			fmt.Printf("  %6.0f", d.Millis())
+			rows[0] = append(rows[0], fmt.Sprintf("delta_%.0fms", d.Millis()))
+		}
+		fmt.Println()
+		for ni, n := range res.Config.Ns {
+			fmt.Printf("%8d", n)
+			row := []string{fmt.Sprint(n)}
+			for di := range res.Config.Deltas {
+				fmt.Printf("  %6.2f", res.Surface[p][ni][di].Mean)
+				row = append(row, fmt.Sprintf("%.4f", res.Surface[p][ni][di].Mean))
+			}
+			rows = append(rows, row)
+			fmt.Println()
+		}
+		name := fmt.Sprintf("fig%d_%s_%s", figNo, kind, sanitize(p.String()))
+		if err := writeCSV(name, rows); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// sanitize turns a protocol legend into a file-name fragment.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// figAblation is this repository's extension study: MTMRP with each
+// mechanism removed in turn (the paper only ablates PHS).
+func figAblation(runs int, seed uint64, workers int) error {
+	fmt.Printf("=== Extension: MTMRP mechanism ablation, grid, 20 receivers (%d runs) ===\n\n", runs)
+	res, err := mtmrp.AblationSweep(mtmrp.AblationConfig{
+		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %18s %14s %12s\n", "variant", "transmissions", "extra nodes", "delivery")
+	for _, v := range res.Variants {
+		row := res.Summary[v.Name]
+		fmt.Printf("%-22s %10.2f ± %-5.2f %10.2f %12.3f\n",
+			v.Name,
+			row[mtmrp.MetricOverhead].Mean, row[mtmrp.MetricOverhead].CI95,
+			row[mtmrp.MetricExtraNodes].Mean,
+			row[mtmrp.MetricDelivery].Mean)
+	}
+	fmt.Println()
+	return nil
+}
+
+// figAmortize is this repository's second extension study: how the
+// one-time discovery cost amortises over data packets (§V.B.3's
+// trade-off).
+func figAmortize(runs int, seed uint64) error {
+	if runs > 20 {
+		runs = 20 // serial driver; 20 rounds give tight CIs already
+	}
+	fmt.Printf("=== Extension: discovery-cost amortization, grid, 20 receivers (%d runs) ===\n\n", runs)
+	res, err := mtmrp.AmortizeSweep(mtmrp.AmortizeConfig{
+		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s", "packets")
+	for _, p := range res.Config.Protocols {
+		fmt.Printf("  %-24s", p)
+	}
+	fmt.Println()
+	fmt.Printf("%10s", "")
+	for range res.Config.Protocols {
+		fmt.Printf("  %-11s %-11s", "frames/pkt", "data/pkt")
+	}
+	fmt.Println()
+	for pi, packets := range res.Config.Packets {
+		fmt.Printf("%10d", packets)
+		for _, p := range res.Config.Protocols {
+			pt := res.Points[p][pi]
+			fmt.Printf("  %11.2f %11.2f", pt.FramesPerPacket.Mean, pt.DataPerPacket.Mean)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+// figShadowing is this repository's third extension study: the Figure 5
+// comparison point under log-normal fading (the paper disables shadowing).
+func figShadowing(runs int, seed uint64) error {
+	if runs > 30 {
+		runs = 30 // serial driver
+	}
+	fmt.Printf("=== Extension: log-normal shadowing robustness, grid, 20 receivers (%d runs) ===\n\n", runs)
+	res, err := mtmrp.ShadowingSweep(mtmrp.ShadowingConfig{
+		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s", "sigma dB")
+	for _, p := range res.Config.Protocols {
+		fmt.Printf("  %-22s", p)
+	}
+	fmt.Println()
+	fmt.Printf("%10s", "")
+	for range res.Config.Protocols {
+		fmt.Printf("  %-10s %-10s ", "tx", "delivery")
+	}
+	fmt.Println()
+	for si, sigma := range res.Config.SigmasDB {
+		fmt.Printf("%10.1f", sigma)
+		for _, p := range res.Config.Protocols {
+			fmt.Printf("  %10.2f %10.3f ", res.Overhead[p][si].Mean, res.Delivery[p][si].Mean)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func figSnapshot(kind mtmrp.TopoKind, size int, seed uint64) error {
+	figNo := 9
+	if kind == mtmrp.RandomTopo {
+		figNo = 10
+	}
+	fmt.Printf("=== Figure %d: routing-path snapshots, %s topology, %d receivers ===\n",
+		figNo, kind, size)
+	for _, p := range []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.DODMRP, mtmrp.ODMRP} {
+		snap, out, err := mtmrp.SnapshotRun(kind, size, p, seed)
+		if err != nil {
+			return err
+		}
+		r := out.Result
+		fmt.Printf("\n--- %s: %d transmissions, %d extra nodes, delivery %.0f%% ---\n",
+			p, r.Transmissions, r.ExtraNodes, 100*r.DeliveryRatio)
+		fmt.Print(snap.Render())
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	return nil
+}

@@ -1,0 +1,39 @@
+// Command traceview summarises a JSONL event log produced by
+// `mtmrsim -trace <file>`: frame counts per type, traffic volume, and the
+// busiest transmitters.
+//
+//	mtmrsim -proto mtmrp -receivers 20 -trace run.jsonl
+//	traceview run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mtmrp/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceview <events.jsonl>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.Summarize(events).Format())
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package mtmrp is a from-scratch Go reproduction of "Distributed Minimum
+// Transmission Multicast Routing Protocol for Wireless Sensor Networks"
+// (Cheng, Das, Cao, Chen, Ma — ICPP 2010).
+//
+// The package exposes the user-facing API: topology construction, protocol
+// selection (MTMRP, its no-PHS ablation, DODMRP, ODMRP, flooding, and the
+// centralized tree heuristics), single-session simulation, Monte-Carlo
+// sweeps reproducing the paper's figures, and field-snapshot rendering.
+// The implementation — discrete-event engine, two-ray-ground radio,
+// CSMA/CA broadcast MAC, neighbor tables, and the protocols themselves —
+// lives under internal/ (see DESIGN.md for the system inventory).
+//
+// Quick start:
+//
+//	topo := mtmrp.Grid()                             // the paper's 10x10 grid
+//	rcv, _ := mtmrp.PickReceivers(topo, 0, 20, 42)   // 20 receivers, seed 42
+//	out, _ := mtmrp.Run(mtmrp.Scenario{
+//	    Topo: topo, Source: 0, Receivers: rcv,
+//	    Protocol: mtmrp.MTMRP, Seed: 1,
+//	})
+//	fmt.Println(out.Result.Transmissions)
+package mtmrp

@@ -1,0 +1,82 @@
+// Firealarm models the downstream-control use case from the paper's
+// introduction: a sink distributes a control message (say, an alarm
+// threshold update) to a subset of actuator nodes in a building-scale
+// sensor grid. It compares every protocol on one fixed scenario and
+// reports transmission and energy cost.
+//
+//	go run ./examples/firealarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtmrp"
+)
+
+func main() {
+	// A denser, smaller deployment than the evaluation grid: 8x8 nodes
+	// across a 140 m building wing, 40 m radio range.
+	points := make([]mtmrp.Point, 0, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			points = append(points, mtmrp.Point{X: float64(x) * 20, Y: float64(y) * 20})
+		}
+	}
+	topo, err := mtmrp.CustomTopology(points, 140, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 12 sprinkler controllers scattered through the wing must receive
+	// the update; the sink sits at the wing entrance (node 0).
+	actuators, err := mtmrp.PickReceivers(topo, 0, 12, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Control dissemination: sink -> 12 actuators, 64-node grid")
+	fmt.Printf("%-16s %13s %11s %14s %12s\n",
+		"protocol", "transmissions", "extra", "energy (mJ)", "delivered")
+	for _, p := range []mtmrp.Protocol{
+		mtmrp.MTMRP, mtmrp.MTMRPNoPHS, mtmrp.DODMRP, mtmrp.ODMRP, mtmrp.GMR, mtmrp.Flooding,
+	} {
+		out, err := mtmrp.Run(mtmrp.Scenario{
+			Topo:      topo,
+			Source:    0,
+			Receivers: actuators,
+			Protocol:  p,
+			Seed:      7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := out.Result
+		fmt.Printf("%-16s %13d %11d %14.2f %9d/%d\n",
+			p, r.Transmissions, r.ExtraNodes, 1e3*r.EnergyTotalJ,
+			r.ReceiversReached, r.ReceiverCount)
+	}
+
+	fmt.Println("\nNote: the energy column covers the WHOLE session including neighbor")
+	fmt.Println("discovery and route construction, which a single control packet does")
+	fmt.Println("not amortise — stateless GMR looks cheap and flooding competitive.")
+	fmt.Println("Streaming many packets down the constructed tree flips the picture:")
+
+	out, err := mtmrp.Run(mtmrp.Scenario{
+		Topo: topo, Source: 0, Receivers: actuators,
+		Protocol: mtmrp.MTMRP, Seed: 7, DataPackets: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl, err := mtmrp.Run(mtmrp.Scenario{
+		Topo: topo, Source: 0, Receivers: actuators,
+		Protocol: mtmrp.Flooding, Seed: 7, DataPackets: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n50-packet session energy: MTMRP %.1f mJ vs flooding %.1f mJ —\n",
+		1e3*out.Result.EnergyTotalJ, 1e3*fl.Result.EnergyTotalJ)
+	fmt.Println("minimising forwarding transmissions is the design objective of MTMRP (§III).")
+}

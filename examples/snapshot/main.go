@@ -1,0 +1,39 @@
+// Snapshot renders the routing-path field views of the paper's Figures 9
+// and 10: the same multicast session routed by MTMRP, DODMRP and ODMRP,
+// with the forwarder sets each protocol recruits.
+//
+//	go run ./examples/snapshot           # grid (Fig. 9)
+//	go run ./examples/snapshot -random   # random field (Fig. 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mtmrp"
+)
+
+func main() {
+	random := flag.Bool("random", false, "use the 200-node random topology (Fig. 10)")
+	seed := flag.Uint64("seed", 2010, "scenario seed")
+	flag.Parse()
+
+	kind, size, figNo := mtmrp.GridTopo, 20, 9
+	if *random {
+		kind, size, figNo = mtmrp.RandomTopo, 15, 10
+	}
+	fmt.Printf("Figure %d style snapshots: %v topology, %d receivers, seed %d\n",
+		figNo, kind, size, *seed)
+
+	for _, p := range []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.DODMRP, mtmrp.ODMRP} {
+		snap, out, err := mtmrp.SnapshotRun(kind, size, p, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := out.Result
+		fmt.Printf("\n%s: %d transmissions, %d extra nodes\n",
+			p, r.Transmissions, r.ExtraNodes)
+		fmt.Print(snap.Render())
+	}
+}

@@ -1,0 +1,3 @@
+module mtmrp
+
+go 1.22

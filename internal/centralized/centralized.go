@@ -1,0 +1,484 @@
+// Package centralized implements the offline multicast-tree constructions
+// the paper uses for motivation and comparison (§IV.A, Fig. 1, and the
+// related work of Jia et al. [3]):
+//
+//   - SPT: the shortest-path multicast tree (union of hop-shortest paths),
+//   - Steiner: the KMB 2-approximation of the minimum-edge-cost Steiner tree,
+//   - MinTransmission: a greedy minimum-transmission heuristic in the spirit
+//     of Node-Join-Tree, exploiting the wireless broadcast advantage,
+//   - Optimal: exact minimum-transmission forwarder set by exhaustive search
+//     (exponential; only for small instances and test oracles).
+//
+// Each construction returns the forwarding-node set; the number of
+// transmissions for one multicast delivery is |{source} ∪ forwarders| once
+// pruned of useless relays.
+package centralized
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"mtmrp/internal/graph"
+)
+
+// Tree is the result of a centralized multicast-tree construction.
+type Tree struct {
+	Source     int
+	Receivers  []int
+	Forwarders map[int]bool // relaying nodes, excluding the source
+	Parent     []int        // tree parent per vertex, Unreachable if absent
+}
+
+// Transmissions returns the transmission count for one packet delivered
+// down this tree: the source plus every forwarder.
+func (t *Tree) Transmissions() int { return 1 + len(t.Forwarders) }
+
+// ExtraNodes counts forwarders that are not multicast receivers — the
+// "extra nodes" metric of §V (DODMRP's optimisation target).
+func (t *Tree) ExtraNodes() int {
+	rcv := make(map[int]bool, len(t.Receivers))
+	for _, r := range t.Receivers {
+		rcv[r] = true
+	}
+	extra := 0
+	for f := range t.Forwarders {
+		if !rcv[f] && f != t.Source {
+			extra++
+		}
+	}
+	return extra
+}
+
+// ErrUnreachable reports that some receiver cannot be reached from the
+// source at all.
+var ErrUnreachable = errors.New("centralized: receiver unreachable from source")
+
+// SPT builds the shortest-path multicast tree: the union of hop-count
+// shortest paths from source to each receiver (Fig. 1(a)).
+func SPT(g *graph.Graph, source int, receivers []int) (*Tree, error) {
+	dist, parent := g.BFS(source)
+	t := &Tree{
+		Source:     source,
+		Receivers:  append([]int(nil), receivers...),
+		Forwarders: map[int]bool{},
+		Parent:     parent,
+	}
+	for _, r := range receivers {
+		if dist[r] == graph.Unreachable {
+			return nil, ErrUnreachable
+		}
+		for v := parent[r]; v != graph.Unreachable && v != source; v = parent[v] {
+			t.Forwarders[v] = true
+		}
+	}
+	// Receivers that sit on another receiver's path forward too.
+	markOnPathReceivers(t, parent, receivers, source)
+	prune(g, t)
+	return t, nil
+}
+
+// markOnPathReceivers adds receivers that appear as interior vertices of
+// other receivers' paths to the forwarder set.
+func markOnPathReceivers(t *Tree, parent []int, receivers []int, source int) {
+	inSet := make(map[int]bool)
+	for _, r := range receivers {
+		inSet[r] = true
+	}
+	for _, r := range receivers {
+		for v := parent[r]; v != graph.Unreachable && v != source; v = parent[v] {
+			if inSet[v] {
+				t.Forwarders[v] = true
+			}
+		}
+	}
+}
+
+// Steiner builds a Steiner-tree approximation via the classic
+// Kou–Markowsky–Berman (KMB) algorithm on the unweighted graph:
+// metric closure over terminals -> MST -> expand -> MST -> prune leaves
+// that are not terminals (Fig. 1(b)).
+func Steiner(g *graph.Graph, source int, receivers []int) (*Tree, error) {
+	terminals := append([]int{source}, receivers...)
+	terminals = dedupe(terminals)
+
+	// Metric closure: shortest paths between every terminal pair.
+	type pathInfo struct {
+		dist int
+		path []int
+	}
+	closure := make(map[[2]int]pathInfo)
+	for _, u := range terminals {
+		dist, parent := g.BFS(u)
+		for _, v := range terminals {
+			if v == u {
+				continue
+			}
+			if dist[v] == graph.Unreachable {
+				return nil, ErrUnreachable
+			}
+			closure[[2]int{u, v}] = pathInfo{dist: dist[v], path: graph.PathTo(parent, u, v)}
+		}
+	}
+
+	// MST over the closure graph (terminals only), by index remap.
+	idx := make(map[int]int, len(terminals))
+	for i, v := range terminals {
+		idx[v] = i
+	}
+	cg := graph.New(len(terminals))
+	for i, u := range terminals {
+		for j := i + 1; j < len(terminals); j++ {
+			v := terminals[j]
+			cg.AddEdge(i, j, float64(closure[[2]int{u, v}].dist))
+		}
+	}
+	mst, err := cg.MST()
+	if err != nil {
+		return nil, err
+	}
+
+	// Expand MST edges into real paths; collect the induced edge set.
+	edgeSet := make(map[[2]int]bool)
+	vertexSet := make(map[int]bool)
+	for _, e := range mst {
+		p := closure[[2]int{terminals[e.U], terminals[e.V]}].path
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			edgeSet[[2]int{a, b}] = true
+			vertexSet[a] = true
+			vertexSet[b] = true
+		}
+	}
+
+	// Second MST over the induced subgraph removes cycles created by
+	// overlapping paths, then leaves that are not terminals are pruned.
+	verts := make([]int, 0, len(vertexSet))
+	for v := range vertexSet {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	vidx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		vidx[v] = i
+	}
+	sub := graph.New(len(verts))
+	for e := range edgeSet {
+		sub.AddEdge(vidx[e[0]], vidx[e[1]], 1)
+	}
+	smst, err := sub.MST()
+	if err != nil {
+		return nil, err
+	}
+
+	// Build adjacency of the final tree and prune non-terminal leaves
+	// repeatedly.
+	adj := make(map[int][]int)
+	for _, e := range smst {
+		u, v := verts[e.U], verts[e.V]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	isTerminal := make(map[int]bool)
+	for _, v := range terminals {
+		isTerminal[v] = true
+	}
+	pruneLeaves(adj, isTerminal)
+
+	t := &Tree{
+		Source:     source,
+		Receivers:  append([]int(nil), receivers...),
+		Forwarders: map[int]bool{},
+		Parent:     treeParents(adj, source, g.N()),
+	}
+	for v, ns := range adj {
+		if v != source && len(ns) >= 2 {
+			t.Forwarders[v] = true // interior vertex relays
+		}
+	}
+	prune(g, t)
+	return t, nil
+}
+
+// pruneLeaves repeatedly removes degree-1 vertices that are not terminals.
+func pruneLeaves(adj map[int][]int, isTerminal map[int]bool) {
+	for {
+		removed := false
+		for v, ns := range adj {
+			if len(ns) == 1 && !isTerminal[v] {
+				u := ns[0]
+				adj[u] = removeInt(adj[u], v)
+				delete(adj, v)
+				removed = true
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+func removeInt(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// treeParents roots the tree adjacency at source and returns a parent
+// array sized n.
+func treeParents(adj map[int][]int, source, n int) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = graph.Unreachable
+	}
+	seen := map[int]bool{source: true}
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent
+}
+
+// MinTransmission builds a minimum-transmission forwarder set greedily, in
+// the spirit of Jia et al.'s Node-Join-Tree: grow a connected transmitter
+// set from the source, at each step adding the reachable node whose single
+// transmission covers the most still-uncovered receivers (ties broken by
+// smaller hop distance to the source, then lower id). This directly chases
+// the broadcast advantage that Fig. 1(c) illustrates.
+func MinTransmission(g *graph.Graph, source int, receivers []int) (*Tree, error) {
+	need := make(map[int]bool)
+	for _, r := range receivers {
+		if r != source {
+			need[r] = true
+		}
+	}
+	dist, _ := g.BFS(source)
+	for r := range need {
+		if dist[r] == graph.Unreachable {
+			return nil, ErrUnreachable
+		}
+	}
+
+	transmitters := map[int]bool{source: true}
+	covered := map[int]bool{source: true}
+	coverFrom := func(v int) {
+		covered[v] = true
+		for _, e := range g.Neighbors(v) {
+			covered[e.To] = true
+		}
+	}
+	coverFrom(source)
+	satisfied := func() bool {
+		for r := range need {
+			if !covered[r] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !satisfied() {
+		// Candidates: covered nodes not yet transmitting (they can hear the
+		// packet, so their transmission extends the tree).
+		best, bestGain, bestDist := -1, -1, math.MaxInt32
+		for v := range covered {
+			if transmitters[v] {
+				continue
+			}
+			gain := 0
+			for _, e := range g.Neighbors(v) {
+				if need[e.To] && !covered[e.To] {
+					gain++
+				}
+			}
+			// Allow zero-gain expansion moves only when nothing gains;
+			// prefer frontier progress toward uncovered receivers.
+			d := dist[v]
+			if gain > bestGain || (gain == bestGain && d < bestDist) ||
+				(gain == bestGain && d == bestDist && (best == -1 || v < best)) {
+				// Zero-gain candidates must still expand coverage at all.
+				expands := false
+				for _, e := range g.Neighbors(v) {
+					if !covered[e.To] {
+						expands = true
+						break
+					}
+				}
+				if gain > 0 || expands {
+					best, bestGain, bestDist = v, gain, d
+				}
+			}
+		}
+		if best == -1 {
+			return nil, ErrUnreachable
+		}
+		transmitters[best] = true
+		coverFrom(best)
+	}
+
+	t := &Tree{
+		Source:     source,
+		Receivers:  append([]int(nil), receivers...),
+		Forwarders: map[int]bool{},
+	}
+	for v := range transmitters {
+		if v != source {
+			t.Forwarders[v] = true
+		}
+	}
+	prune(g, t)
+	t.Parent = deliveryParents(g, t)
+	return t, nil
+}
+
+// Optimal finds a minimum-size forwarder set by exhaustive search over
+// subsets, smallest first. Exponential: reject instances with more than
+// maxCandidates candidate forwarders.
+func Optimal(g *graph.Graph, source int, receivers []int, maxCandidates int) (*Tree, error) {
+	// Candidates: any node except the source could forward; restrict to the
+	// source's connected component.
+	dist, _ := g.BFS(source)
+	var cand []int
+	for v := 0; v < g.N(); v++ {
+		if v != source && dist[v] != graph.Unreachable {
+			cand = append(cand, v)
+		}
+	}
+	for _, r := range receivers {
+		if dist[r] == graph.Unreachable {
+			return nil, ErrUnreachable
+		}
+	}
+	if len(cand) > maxCandidates {
+		return nil, errors.New("centralized: instance too large for exhaustive search")
+	}
+	for size := 0; size <= len(cand); size++ {
+		var found map[int]bool
+		forEachSubset(cand, size, func(sub []int) bool {
+			fs := make(map[int]bool, len(sub))
+			for _, v := range sub {
+				fs[v] = true
+			}
+			if g.CoversReceivers(source, fs, receivers) &&
+				g.TransmissionCount(source, fs) == 1+len(fs) {
+				found = fs
+				return true
+			}
+			return false
+		})
+		if found != nil {
+			t := &Tree{
+				Source:     source,
+				Receivers:  append([]int(nil), receivers...),
+				Forwarders: found,
+			}
+			t.Parent = deliveryParents(g, t)
+			return t, nil
+		}
+	}
+	return nil, ErrUnreachable
+}
+
+// forEachSubset enumerates size-k subsets of items, invoking fn until it
+// returns true (early exit).
+func forEachSubset(items []int, k int, fn func([]int) bool) bool {
+	sub := make([]int, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(sub) == k {
+			return fn(sub)
+		}
+		// Not enough items left to reach k.
+		if len(items)-start < k-len(sub) {
+			return false
+		}
+		for i := start; i < len(items); i++ {
+			sub = append(sub, items[i])
+			if rec(i + 1) {
+				return true
+			}
+			sub = sub[:len(sub)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// prune removes forwarders whose removal keeps all receivers covered,
+// scanning in descending "uselessness" (it tries every forwarder once).
+// All heuristics run it so their trees carry no dead weight.
+func prune(g *graph.Graph, t *Tree) {
+	changed := true
+	for changed {
+		changed = false
+		var fs []int
+		for f := range t.Forwarders {
+			fs = append(fs, f)
+		}
+		sort.Ints(fs)
+		for _, f := range fs {
+			delete(t.Forwarders, f)
+			if g.CoversReceivers(t.Source, t.Forwarders, t.Receivers) &&
+				g.TransmissionCount(t.Source, t.Forwarders) == 1+len(t.Forwarders) {
+				changed = true
+			} else {
+				t.Forwarders[f] = true
+			}
+		}
+	}
+}
+
+// deliveryParents simulates the broadcast delivery and records, for every
+// reached vertex, the transmitter it first heard — a delivery tree for
+// rendering and relay-profit accounting.
+func deliveryParents(g *graph.Graph, t *Tree) []int {
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = graph.Unreachable
+	}
+	reached := make([]bool, g.N())
+	reached[t.Source] = true
+	queue := []int{t.Source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u != t.Source && !t.Forwarders[u] {
+			continue
+		}
+		for _, e := range g.Neighbors(u) {
+			if !reached[e.To] {
+				reached[e.To] = true
+				parent[e.To] = u
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return parent
+}
+
+func dedupe(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

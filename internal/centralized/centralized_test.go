@@ -1,0 +1,302 @@
+package centralized
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtmrp/internal/graph"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/topology"
+)
+
+// fig1Graph builds the didactic network of the paper's Fig. 1 / Fig. 3: a
+// source, five receivers, and intermediate nodes on a 4-neighborhood
+// lattice ("each node has 4 adjacent neighbors at most, there are no
+// diagonal links"). Layout, matching Fig. 3's labels:
+//
+//	   A  D  G
+//	S  B  E  H  J
+//	   C  F  I
+//
+// Receivers are {D, G, J, F, I} (two top, one right, two bottom). The
+// minimum-transmission tree is {S, B, E, H}: 4 transmissions, as the paper
+// states for Fig. 1(c).
+func fig1Graph() (*graph.Graph, int, []int) {
+	const (
+		S = iota
+		A
+		D
+		G
+		B
+		E
+		H
+		J
+		C
+		F
+		I
+	)
+	g := graph.New(11)
+	edges := [][2]int{
+		{S, B}, {B, E}, {E, H}, {H, J}, // middle row
+		{A, D}, {D, G}, // top row
+		{C, F}, {F, I}, // bottom row
+		{A, B}, {D, E}, {G, H}, // top-middle verticals
+		{C, B}, {F, E}, {I, H}, // bottom-middle verticals
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1], 1)
+	}
+	return g, S, []int{D, G, J, F, I}
+}
+
+func forwardersValid(t *testing.T, g *graph.Graph, tr *Tree) {
+	t.Helper()
+	if !g.CoversReceivers(tr.Source, tr.Forwarders, tr.Receivers) {
+		t.Fatalf("tree does not cover all receivers: %v", tr.Forwarders)
+	}
+	if got := g.TransmissionCount(tr.Source, tr.Forwarders); got != tr.Transmissions() {
+		t.Fatalf("dead forwarders present: bfs count %d != %d", got, tr.Transmissions())
+	}
+}
+
+func TestSPTLine(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	tr, err := SPT(g, 0, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, tr)
+	if tr.Transmissions() != 3 {
+		t.Errorf("transmissions = %d, want 3 (src,1,2)", tr.Transmissions())
+	}
+	if tr.ExtraNodes() != 2 {
+		t.Errorf("extra = %d, want 2", tr.ExtraNodes())
+	}
+}
+
+func TestSPTAdjacentReceiver(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	tr, err := SPT(g, 0, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Transmissions() != 1 {
+		t.Errorf("transmissions = %d, want 1", tr.Transmissions())
+	}
+	if tr.ExtraNodes() != 0 {
+		t.Errorf("extra = %d", tr.ExtraNodes())
+	}
+}
+
+func TestSPTUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := SPT(g, 0, []int{2}); err != ErrUnreachable {
+		t.Errorf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	// The paper's example: SPT needs 7 transmissions, Steiner needs 7,
+	// minimum-transmission tree needs 4.
+	g, src, rcv := fig1Graph()
+
+	spt, err := SPT(g, src, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, spt)
+
+	st, err := Steiner(g, src, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, st)
+
+	mt, err := MinTransmission(g, src, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, mt)
+
+	opt, err := Optimal(g, src, rcv, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, opt)
+
+	if opt.Transmissions() != 4 {
+		t.Errorf("optimal transmissions = %d, want 4 (paper Fig. 1c)", opt.Transmissions())
+	}
+	if mt.Transmissions() != 4 {
+		t.Errorf("greedy min-transmission = %d, want 4", mt.Transmissions())
+	}
+	if spt.Transmissions() < mt.Transmissions() {
+		t.Errorf("SPT (%d tx) should not beat min-transmission (%d tx)",
+			spt.Transmissions(), mt.Transmissions())
+	}
+	if st.Transmissions() < mt.Transmissions() {
+		t.Errorf("Steiner (%d tx) should not beat min-transmission (%d tx)",
+			st.Transmissions(), mt.Transmissions())
+	}
+}
+
+func TestSteinerLine(t *testing.T) {
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	tr, err := Steiner(g, 0, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, tr)
+	if tr.Transmissions() != 4 {
+		t.Errorf("transmissions = %d, want 4", tr.Transmissions())
+	}
+}
+
+func TestSteinerUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := Steiner(g, 0, []int{2}); err != ErrUnreachable {
+		t.Errorf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestMinTransmissionStar(t *testing.T) {
+	// Star: source 0 adjacent to all; zero forwarders needed.
+	g := graph.New(6)
+	for i := 1; i < 6; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	tr, err := MinTransmission(g, 0, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Transmissions() != 1 {
+		t.Errorf("transmissions = %d, want 1", tr.Transmissions())
+	}
+}
+
+func TestMinTransmissionUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := MinTransmission(g, 0, []int{2}); err != ErrUnreachable {
+		t.Errorf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestOptimalTooLarge(t *testing.T) {
+	g := graph.New(30)
+	for i := 0; i < 29; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	if _, err := Optimal(g, 0, []int{29}, 10); err == nil {
+		t.Error("should refuse large instance")
+	}
+}
+
+// Property: on random small graphs, every heuristic covers all receivers,
+// and greedy MinTransmission is never better than Optimal (sanity of the
+// oracle) while SPT/Steiner are never better than Optimal either.
+func TestHeuristicsNeverBeatOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		// Small random unit-disc-ish graph.
+		topo, err := topology.Random(10, 60, 30, r)
+		if err != nil {
+			return true
+		}
+		g := graph.FromAdjacency(adjOf(topo))
+		reach := topo.ReachableFrom(0)
+		var pool []int
+		for i := 1; i < topo.N(); i++ {
+			if reach[i] {
+				pool = append(pool, i)
+			}
+		}
+		if len(pool) < 3 {
+			return true // too sparse to be interesting
+		}
+		k := 1 + r.Intn(3)
+		if k > len(pool) {
+			k = len(pool)
+		}
+		var rcv []int
+		for _, idx := range r.Sample(len(pool), k) {
+			rcv = append(rcv, pool[idx])
+		}
+		opt, err := Optimal(g, 0, rcv, 9)
+		if err != nil {
+			return true // too large; skip
+		}
+		for _, build := range []func(*graph.Graph, int, []int) (*Tree, error){SPT, Steiner, MinTransmission} {
+			tr, err := build(g, 0, rcv)
+			if err != nil {
+				return false
+			}
+			if !g.CoversReceivers(0, tr.Forwarders, rcv) {
+				return false
+			}
+			if tr.Transmissions() < opt.Transmissions() {
+				return false // claimed better than optimal: bug
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// adjOf converts topology neighbor lists to plain adjacency.
+func adjOf(topo *topology.Topology) [][]int {
+	adj := make([][]int, topo.N())
+	for i := range adj {
+		adj[i] = append([]int(nil), topo.Neighbors(i)...)
+	}
+	return adj
+}
+
+func TestGridHeuristics(t *testing.T) {
+	topo := topology.PaperGrid()
+	g := graph.FromAdjacency(adjOf(topo))
+	r := rng.New(11)
+	rcv, err := topo.PickReceivers(0, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := SPT(g, 0, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, spt)
+	mt, err := MinTransmission(g, 0, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, mt)
+	if mt.Transmissions() > spt.Transmissions() {
+		t.Errorf("greedy (%d) worse than SPT (%d) on grid", mt.Transmissions(), spt.Transmissions())
+	}
+}
+
+func TestTreeMetrics(t *testing.T) {
+	tr := &Tree{
+		Source:     0,
+		Receivers:  []int{2, 3},
+		Forwarders: map[int]bool{1: true, 2: true},
+	}
+	if tr.Transmissions() != 3 {
+		t.Errorf("Transmissions = %d", tr.Transmissions())
+	}
+	// Forwarder 2 is a receiver, so only node 1 is extra.
+	if tr.ExtraNodes() != 1 {
+		t.Errorf("ExtraNodes = %d", tr.ExtraNodes())
+	}
+}

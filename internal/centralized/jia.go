@@ -1,0 +1,190 @@
+package centralized
+
+import (
+	"math"
+	"sort"
+
+	"mtmrp/internal/graph"
+)
+
+// The two greedy heuristics of Jia, Li & Hung, "Multicast routing with
+// minimum energy cost in ad hoc wireless networks" (GLOBECOM'04), which
+// the paper cites as the centralized state of the art it departs from:
+//
+//   - Node-Join-Tree (NJT): grow a single tree from the source by
+//     repeatedly attaching the hop-closest uncovered receiver along a
+//     shortest path to the current tree (cheapest-insertion Steiner).
+//   - Tree-Join-Tree (TJT): start with every terminal as its own
+//     one-node tree and repeatedly merge the two hop-closest trees along
+//     a shortest connecting path (Kruskal-style Steiner).
+//
+// Both return a Tree whose Forwarders are the minimal relaying set after
+// pruning under the wireless broadcast advantage, so their transmission
+// counts are directly comparable to SPT/Steiner/MinTransmission.
+
+// NodeJoinTree builds the NJT multicast tree.
+func NodeJoinTree(g *graph.Graph, source int, receivers []int) (*Tree, error) {
+	dist, _ := g.BFS(source)
+	for _, r := range receivers {
+		if dist[r] == graph.Unreachable {
+			return nil, ErrUnreachable
+		}
+	}
+	inTree := map[int]bool{source: true}
+	pending := map[int]bool{}
+	for _, r := range receivers {
+		if r != source {
+			pending[r] = true
+		}
+	}
+	for len(pending) > 0 {
+		// Multi-source BFS from the current tree finds, for every vertex,
+		// the hop distance to the nearest tree vertex and a parent chain
+		// back into the tree.
+		d, parent := multiSourceBFS(g, inTree)
+		best, bestD := -1, math.MaxInt32
+		for r := range pending {
+			if d[r] != graph.Unreachable && d[r] < bestD ||
+				(d[r] == bestD && r < best) {
+				best, bestD = r, d[r]
+			}
+		}
+		if best == -1 {
+			return nil, ErrUnreachable
+		}
+		for v := best; v != graph.Unreachable && !inTree[v]; v = parent[v] {
+			inTree[v] = true
+		}
+		delete(pending, best)
+	}
+	return treeFromVertexSet(g, source, receivers, inTree), nil
+}
+
+// TreeJoinTree builds the TJT multicast tree.
+func TreeJoinTree(g *graph.Graph, source int, receivers []int) (*Tree, error) {
+	terminals := dedupe(append([]int{source}, receivers...))
+	// Component id per terminal tree; vertex -> component, Unreachable if
+	// not yet in any tree.
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = graph.Unreachable
+	}
+	for ci, t := range terminals {
+		comp[t] = ci
+	}
+	components := len(terminals)
+	inForest := map[int]bool{}
+	for _, t := range terminals {
+		inForest[t] = true
+	}
+
+	for components > 1 {
+		// Find the closest pair of distinct components via BFS from each
+		// component's vertex set (smallest component first for speed).
+		type merge struct {
+			path []int
+			cost int
+		}
+		best := merge{cost: math.MaxInt32}
+		// BFS from component 0's current vertex set to any other comp.
+		seeds := map[int]bool{}
+		for v, c := range comp {
+			if c == compAlias(comp, terminals[0]) {
+				seeds[v] = true
+			}
+		}
+		d, parent := multiSourceBFS(g, seeds)
+		for v := 0; v < g.N(); v++ {
+			c := comp[v]
+			if c == graph.Unreachable || c == compAlias(comp, terminals[0]) {
+				continue
+			}
+			if d[v] != graph.Unreachable && d[v] < best.cost {
+				var path []int
+				for u := v; u != graph.Unreachable; u = parent[u] {
+					path = append(path, u)
+					if seeds[u] {
+						break
+					}
+				}
+				best = merge{path: path, cost: d[v]}
+			}
+		}
+		if best.path == nil {
+			return nil, ErrUnreachable
+		}
+		// Absorb the path and the reached component into component 0.
+		target := comp[best.path[0]]
+		for _, v := range best.path {
+			inForest[v] = true
+		}
+		root := compAlias(comp, terminals[0])
+		for v := range comp {
+			if comp[v] == target {
+				comp[v] = root
+			}
+		}
+		for _, v := range best.path {
+			comp[v] = root
+		}
+		components--
+	}
+	return treeFromVertexSet(g, source, receivers, inForest), nil
+}
+
+// compAlias returns the component id of vertex v (components are merged by
+// rewriting ids, so this is a direct read; the helper documents intent).
+func compAlias(comp []int, v int) int { return comp[v] }
+
+// multiSourceBFS runs BFS from every vertex in seeds simultaneously.
+func multiSourceBFS(g *graph.Graph, seeds map[int]bool) (dist, parent []int) {
+	dist = make([]int, g.N())
+	parent = make([]int, g.N())
+	for i := range dist {
+		dist[i] = graph.Unreachable
+		parent[i] = graph.Unreachable
+	}
+	var queue []int
+	// Deterministic seed order.
+	var sorted []int
+	for v := range seeds {
+		sorted = append(sorted, v)
+	}
+	sort.Ints(sorted)
+	for _, v := range sorted {
+		dist[v] = 0
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			if dist[e.To] == graph.Unreachable {
+				dist[e.To] = dist[u] + 1
+				parent[e.To] = u
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// treeFromVertexSet turns a connected vertex set containing the source and
+// all receivers into a pruned Tree: every non-source vertex of the set is
+// a candidate forwarder; prune removes the useless ones under the
+// broadcast advantage.
+func treeFromVertexSet(g *graph.Graph, source int, receivers []int, vs map[int]bool) *Tree {
+	t := &Tree{
+		Source:     source,
+		Receivers:  append([]int(nil), receivers...),
+		Forwarders: map[int]bool{},
+	}
+	for v := range vs {
+		if v != source {
+			t.Forwarders[v] = true
+		}
+	}
+	prune(g, t)
+	t.Parent = deliveryParents(g, t)
+	return t
+}

@@ -1,0 +1,120 @@
+package centralized
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtmrp/internal/graph"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/topology"
+)
+
+func TestNJTLine(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	tr, err := NodeJoinTree(g, 0, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, tr)
+	if tr.Transmissions() != 3 {
+		t.Errorf("NJT line transmissions = %d, want 3", tr.Transmissions())
+	}
+}
+
+func TestTJTLine(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	tr, err := TreeJoinTree(g, 0, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, tr)
+	if tr.Transmissions() != 3 {
+		t.Errorf("TJT line transmissions = %d, want 3", tr.Transmissions())
+	}
+}
+
+func TestJiaUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := NodeJoinTree(g, 0, []int{2}); err != ErrUnreachable {
+		t.Errorf("NJT: want ErrUnreachable, got %v", err)
+	}
+	if _, err := TreeJoinTree(g, 0, []int{2}); err != ErrUnreachable {
+		t.Errorf("TJT: want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestJiaOnFig1(t *testing.T) {
+	g, src, rcv := fig1Graph()
+	njt, err := NodeJoinTree(g, src, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, njt)
+	tjt, err := TreeJoinTree(g, src, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwardersValid(t, g, tjt)
+	// Pruning under the broadcast advantage keeps both within the small
+	// example's optimum plus slack.
+	if njt.Transmissions() > 7 || tjt.Transmissions() > 7 {
+		t.Errorf("NJT=%d TJT=%d transmissions on the 11-node example",
+			njt.Transmissions(), tjt.Transmissions())
+	}
+}
+
+func TestJiaCoverProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		topo, err := topology.Random(15, 80, 35, r)
+		if err != nil {
+			return true
+		}
+		g := graph.FromAdjacency(adjOf(topo))
+		reach := topo.ReachableFrom(0)
+		var pool []int
+		for i := 1; i < topo.N(); i++ {
+			if reach[i] {
+				pool = append(pool, i)
+			}
+		}
+		if len(pool) < 2 {
+			return true
+		}
+		k := 1 + r.Intn(min(4, len(pool)))
+		var rcv []int
+		for _, idx := range r.Sample(len(pool), k) {
+			rcv = append(rcv, pool[idx])
+		}
+		for _, build := range []func(*graph.Graph, int, []int) (*Tree, error){NodeJoinTree, TreeJoinTree} {
+			tr, err := build(g, 0, rcv)
+			if err != nil {
+				return false
+			}
+			if !g.CoversReceivers(0, tr.Forwarders, rcv) {
+				return false
+			}
+			if g.TransmissionCount(0, tr.Forwarders) != tr.Transmissions() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+// Package channel models the shared wireless medium: when a node
+// transmits, every node inside the reception disc receives the frame after
+// the propagation delay — unless frames overlap (collision) or the receiver
+// is itself transmitting (half-duplex). Nodes inside the larger
+// carrier-sense disc observe the medium as busy, which drives the CSMA MAC.
+//
+// The interference model is deliberately simple and documented:
+// two frames overlapping in time at a receiver destroy each other (no
+// capture effect); signals strong enough to sense but too weak to decode
+// mark the channel busy without corrupting concurrent receptions. This is
+// a conservative subset of ns-2's 802.11 PHY that preserves the collision
+// behaviour the paper's protocols react to.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// Radio is the node-side endpoint the channel talks to (implemented by the
+// MAC layer).
+type Radio interface {
+	// FrameReceived delivers a successfully decoded frame.
+	FrameReceived(p *packet.Packet)
+	// CarrierChanged notifies busy/idle transitions of the local medium.
+	CarrierChanged(busy bool)
+}
+
+// link is a precomputed propagation edge.
+type link struct {
+	to    int
+	delay sim.Time
+	power float64 // deterministic received power at this distance (Watts)
+}
+
+// arrival tracks one frame in flight toward one receiver.
+type arrival struct {
+	pkt      *packet.Packet
+	collided bool
+	aborted  bool // receiver transmitted during reception
+}
+
+// nodeState is the per-node radio state machine.
+type nodeState struct {
+	busySignals  int // signals currently sensed (including own transmission)
+	transmitting bool
+	active       []*arrival // frames currently arriving within decode range
+}
+
+// Stats counts channel-level outcomes for diagnostics and tests.
+type Stats struct {
+	Transmissions uint64 // frames put on the air
+	Deliveries    uint64 // successful frame receptions
+	Collisions    uint64 // receptions lost to overlap
+	HalfDuplex    uint64 // receptions lost because the receiver was transmitting
+}
+
+// Config tunes the channel model.
+type Config struct {
+	// DisableCollisions delivers overlapping frames anyway (still honouring
+	// half-duplex). Used by deterministic protocol unit tests.
+	DisableCollisions bool
+
+	// ShadowingSigmaDB enables log-normal shadowing: each frame arrival
+	// draws an independent N(0, sigma) dB deviation on the deterministic
+	// path loss, so links near the disc edge become probabilistic and
+	// slightly longer links occasionally succeed. The paper disables
+	// shadowing ("the shadowing fading factor is not considered"); this
+	// knob powers the robustness extension study. Carrier sensing stays
+	// deterministic (at the mean power) to keep the MAC analysable.
+	ShadowingSigmaDB float64
+	// Rand drives the shadowing draws; required when ShadowingSigmaDB > 0.
+	Rand *rng.RNG
+}
+
+// Channel is the shared medium for one simulation. Attach every node's
+// radio before the first Transmit.
+type Channel struct {
+	sim    *sim.Simulator
+	params radio.Params
+	cfg    Config
+	pos    []geom.Point
+	rxN    [][]link // links within decode range
+	csN    [][]link // links within carrier-sense range (superset of rxN)
+	radios []Radio
+	state  []nodeState
+	uid    uint64
+	stats  Stats
+
+	// OnAir, if set, observes every transmission (for metrics/tracing).
+	OnAir func(from int, p *packet.Packet)
+	// OnDeliver, if set, observes every successful reception.
+	OnDeliver func(to int, p *packet.Packet)
+}
+
+// New builds a channel over the given node positions. The reception and
+// carrier-sense discs are derived from params.
+func New(s *sim.Simulator, positions []geom.Point, params radio.Params, cfg Config) *Channel {
+	n := len(positions)
+	c := &Channel{
+		sim:    s,
+		params: params,
+		cfg:    cfg,
+		pos:    positions,
+		rxN:    make([][]link, n),
+		csN:    make([][]link, n),
+		radios: make([]Radio, n),
+		state:  make([]nodeState, n),
+	}
+	rx := params.TxRange()
+	cs := params.CSRange()
+	if cs < rx {
+		panic("channel: carrier-sense range smaller than reception range")
+	}
+	if cfg.ShadowingSigmaDB > 0 && cfg.Rand == nil {
+		panic("channel: shadowing requires a random source")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := positions[i].Dist(positions[j])
+			if d <= cs {
+				l := link{
+					to:    j,
+					delay: sim.Seconds(radio.PropDelay(d)),
+					power: params.Model.ReceivedPower(params.TxPower, d),
+				}
+				c.csN[i] = append(c.csN[i], l)
+				if d <= rx {
+					c.rxN[i] = append(c.rxN[i], l)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// decodable reports whether a frame over the given link decodes, applying
+// the per-frame shadowing draw when enabled. Without shadowing the answer
+// is the deterministic disc (power >= RXThresh).
+func (c *Channel) decodable(l link) bool {
+	if c.cfg.ShadowingSigmaDB <= 0 {
+		return l.power >= c.params.RXThresh
+	}
+	// Log-normal shadowing: deviate the mean path loss by N(0, sigma) dB.
+	devDB := c.cfg.Rand.NormFloat64() * c.cfg.ShadowingSigmaDB
+	return 10*math.Log10(l.power/c.params.RXThresh)+devDB >= 0
+}
+
+// Attach registers the radio endpoint for node i.
+func (c *Channel) Attach(i int, r Radio) {
+	if c.radios[i] != nil {
+		panic(fmt.Sprintf("channel: node %d already attached", i))
+	}
+	c.radios[i] = r
+}
+
+// Busy reports whether node i currently senses the medium busy.
+func (c *Channel) Busy(i int) bool { return c.state[i].busySignals > 0 }
+
+// Stats returns a copy of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Duration returns the on-air time of a frame of the given size.
+func (c *Channel) Duration(sizeBytes int) sim.Time {
+	return sim.Seconds(c.params.TxDuration(sizeBytes))
+}
+
+// NeighborCount returns the number of decode-range neighbors of node i
+// (used by tests and diagnostics).
+func (c *Channel) NeighborCount(i int) int { return len(c.rxN[i]) }
+
+// Transmit puts a frame on the air from node i and returns its on-air
+// duration. The caller (MAC) must not start a second transmission from the
+// same node before the returned duration elapses.
+func (c *Channel) Transmit(i int, p *packet.Packet) sim.Time {
+	st := &c.state[i]
+	if st.transmitting {
+		panic(fmt.Sprintf("channel: node %d transmit while transmitting", i))
+	}
+	c.uid++
+	p.UID = c.uid
+	c.stats.Transmissions++
+	if c.OnAir != nil {
+		c.OnAir(i, p)
+	}
+	dur := c.Duration(p.Size)
+
+	// Half-duplex: transmitting kills any reception in progress here.
+	st.transmitting = true
+	for _, a := range st.active {
+		if !a.aborted {
+			a.aborted = true
+			c.stats.HalfDuplex++
+		}
+	}
+	// The node senses its own signal.
+	c.signalStart(i)
+	c.sim.After(dur, func() {
+		c.state[i].transmitting = false
+		c.signalEnd(i)
+	})
+
+	// Carrier sensing at every node in the CS disc.
+	for _, l := range c.csN[i] {
+		to := l.to
+		c.sim.After(l.delay, func() { c.signalStart(to) })
+		c.sim.After(l.delay+dur, func() { c.signalEnd(to) })
+	}
+	// Frame arrival at every node that decodes this transmission. With
+	// shadowing enabled the candidate set widens to the carrier disc and
+	// each link rolls its own fading draw.
+	arrivalLinks := c.rxN[i]
+	if c.cfg.ShadowingSigmaDB > 0 {
+		arrivalLinks = c.csN[i]
+	}
+	for _, l := range arrivalLinks {
+		if !c.decodable(l) {
+			continue
+		}
+		to := l.to
+		a := &arrival{pkt: p}
+		c.sim.After(l.delay, func() { c.startArrival(to, a) })
+		c.sim.After(l.delay+dur, func() { c.endArrival(to, a) })
+	}
+	return dur
+}
+
+func (c *Channel) signalStart(i int) {
+	st := &c.state[i]
+	st.busySignals++
+	if st.busySignals == 1 && c.radios[i] != nil {
+		c.radios[i].CarrierChanged(true)
+	}
+}
+
+func (c *Channel) signalEnd(i int) {
+	st := &c.state[i]
+	st.busySignals--
+	if st.busySignals < 0 {
+		panic("channel: negative busy count")
+	}
+	if st.busySignals == 0 && c.radios[i] != nil {
+		c.radios[i].CarrierChanged(false)
+	}
+}
+
+func (c *Channel) startArrival(i int, a *arrival) {
+	st := &c.state[i]
+	if st.transmitting {
+		a.aborted = true
+		c.stats.HalfDuplex++
+	}
+	if !c.cfg.DisableCollisions && len(st.active) > 0 {
+		// Overlap: the new frame and every frame in flight are lost.
+		if !a.collided {
+			a.collided = true
+			c.stats.Collisions++
+		}
+		for _, other := range st.active {
+			if !other.collided {
+				other.collided = true
+				c.stats.Collisions++
+			}
+		}
+	}
+	st.active = append(st.active, a)
+}
+
+func (c *Channel) endArrival(i int, a *arrival) {
+	st := &c.state[i]
+	for k, other := range st.active {
+		if other == a {
+			st.active = append(st.active[:k], st.active[k+1:]...)
+			break
+		}
+	}
+	if a.collided || a.aborted {
+		return
+	}
+	c.stats.Deliveries++
+	if c.OnDeliver != nil {
+		c.OnDeliver(i, a.pkt)
+	}
+	if c.radios[i] != nil {
+		c.radios[i].FrameReceived(a.pkt)
+	}
+}

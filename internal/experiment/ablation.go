@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mtmrp/internal/core"
+	"mtmrp/internal/proto"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/stats"
+)
+
+// AblationVariant is one MTMRP configuration in the ablation study: the
+// full protocol with exactly one mechanism removed (plus the full and
+// fully-stripped endpoints). DESIGN.md §8 calls this study out; the paper
+// itself only ablates PHS (its "MTMRP w/o PHS" curves).
+type AblationVariant struct {
+	Name   string
+	Config core.Config
+}
+
+// AblationVariants returns the standard set for the given N and δ.
+func AblationVariants(n int, delta sim.Time) []AblationVariant {
+	base := func() core.Config {
+		c := core.DefaultConfig()
+		c.N = n
+		c.Delta = delta
+		c.Proto = proto.DefaultConfig()
+		return c
+	}
+	full := base()
+
+	noPHS := base()
+	noPHS.PHS = false
+
+	noRelay := base()
+	noRelay.DisableRelayBias = true
+
+	noPath := base()
+	noPath.DisablePathBias = true
+
+	noMember := base()
+	noMember.DisableMemberBias = true
+
+	none := base()
+	none.PHS = false
+	none.DisableRelayBias = true
+	none.DisablePathBias = true
+	none.DisableMemberBias = true
+
+	return []AblationVariant{
+		{Name: "full MTMRP", Config: full},
+		{Name: "- PHS", Config: noPHS},
+		{Name: "- relay bias (Eq.2)", Config: noRelay},
+		{Name: "- path bias (Eq.3)", Config: noPath},
+		{Name: "- member bias (Eq.4)", Config: noMember},
+		{Name: "none (ODMRP-like)", Config: none},
+	}
+}
+
+// AblationConfig parameterises the study.
+type AblationConfig struct {
+	Topo      TopoKind
+	GroupSize int
+	Runs      int
+	Seed      uint64
+	N         int
+	Delta     sim.Time
+	Workers   int
+}
+
+// AblationResult maps variant name -> per-metric summaries.
+type AblationResult struct {
+	Config   AblationConfig
+	Variants []AblationVariant
+	Summary  map[string][]stats.Summary // [variant][metric]
+}
+
+// AblationSweep measures each mechanism's contribution to MTMRP's
+// transmission savings on the given workload.
+func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 20
+	}
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = sim.Millisecond
+	}
+	variants := AblationVariants(cfg.N, cfg.Delta)
+
+	acc := make(map[string][]stats.Accumulator, len(variants))
+	for _, v := range variants {
+		acc[v.Name] = make([]stats.Accumulator, NumMetrics)
+	}
+
+	type outcome struct {
+		name   string
+		values [NumMetrics]float64
+		err    error
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan int, workers)
+	outs := make(chan outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				round := rng.New(cfg.Seed).Derive(
+					fmt.Sprintf("ablation-%s-%d-%d", cfg.Topo, cfg.GroupSize, run))
+				topo, err := buildTopo(cfg.Topo, round)
+				if err != nil {
+					outs <- outcome{err: err}
+					continue
+				}
+				rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+				if err != nil {
+					outs <- outcome{err: err}
+					continue
+				}
+				for _, v := range variants {
+					vc := v.Config
+					out, err := Run(Scenario{
+						Topo: topo, Source: 0, Receivers: rcv,
+						Protocol: MTMRP, Core: &vc,
+						Seed: round.Derive("run").Uint64(),
+					})
+					if err != nil {
+						outs <- outcome{name: v.Name, err: err}
+						continue
+					}
+					r := out.Result
+					outs <- outcome{name: v.Name, values: [NumMetrics]float64{
+						float64(r.Transmissions),
+						float64(r.ExtraNodes),
+						r.AvgRelayProfit,
+						r.DeliveryRatio,
+					}}
+				}
+			}
+		}()
+	}
+	go func() {
+		for run := 0; run < cfg.Runs; run++ {
+			jobs <- run
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+	var firstErr error
+	for o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		for m := 0; m < int(NumMetrics); m++ {
+			acc[o.name][m].Add(o.values[m])
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &AblationResult{Config: cfg, Variants: variants,
+		Summary: make(map[string][]stats.Summary, len(variants))}
+	for _, v := range variants {
+		row := make([]stats.Summary, NumMetrics)
+		for m := range row {
+			row[m] = acc[v.Name][m].Summary()
+		}
+		res.Summary[v.Name] = row
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mtmrp/internal/rng"
+	"mtmrp/internal/stats"
+)
+
+// Amortization study (extension). §V.B.3 notes that "the price paying for
+// the reduced transmission cost for DODMRP and MTMRP is the introduced
+// backoff delay ... during the multicast tree construction phase. However,
+// during the data forwarding phase, the transmission overhead can be
+// reduced significantly." This driver quantifies that trade-off: total
+// frames on the air (control + data) per delivered data packet, as the
+// number of data packets per constructed tree grows.
+
+// AmortizeConfig parameterises the study.
+type AmortizeConfig struct {
+	Topo      TopoKind
+	GroupSize int
+	Packets   []int // data packets per session, e.g. 1, 5, 10, 50
+	Runs      int
+	Seed      uint64
+	Protocols []Protocol
+}
+
+// AmortizePoint is the per-(protocol, packet-count) outcome.
+type AmortizePoint struct {
+	// FramesPerPacket = (control frames + total data frames) / packets.
+	FramesPerPacket stats.Summary
+	// DataPerPacket = total data frames / packets (the steady-state cost).
+	DataPerPacket stats.Summary
+}
+
+// AmortizeResult holds the study's outcome.
+type AmortizeResult struct {
+	Config AmortizeConfig
+	Points map[Protocol][]AmortizePoint // [protocol][packetIdx]
+}
+
+// AmortizeSweep runs the study serially (it is small: a handful of
+// points).
+func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = []Protocol{MTMRP, ODMRP, Flooding}
+	}
+	if len(cfg.Packets) == 0 {
+		cfg.Packets = []int{1, 5, 10, 50}
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 20
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 20
+	}
+	res := &AmortizeResult{Config: cfg, Points: make(map[Protocol][]AmortizePoint)}
+	for _, p := range cfg.Protocols {
+		res.Points[p] = make([]AmortizePoint, len(cfg.Packets))
+	}
+	for pi, packets := range cfg.Packets {
+		accTotal := make(map[Protocol]*stats.Accumulator)
+		accData := make(map[Protocol]*stats.Accumulator)
+		for _, p := range cfg.Protocols {
+			accTotal[p] = &stats.Accumulator{}
+			accData[p] = &stats.Accumulator{}
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			round := rng.New(cfg.Seed).Derive(
+				fmt.Sprintf("amortize-%s-%d-%d", cfg.Topo, packets, run))
+			topo, err := buildTopo(cfg.Topo, round)
+			if err != nil {
+				return nil, err
+			}
+			rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range cfg.Protocols {
+				out, err := Run(Scenario{
+					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+					DataPackets: packets,
+					Seed:        round.Derive("run").Uint64(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				r := out.Result
+				accTotal[p].Add(float64(r.ControlTx+r.DataTxTotal) / float64(packets))
+				accData[p].Add(float64(r.DataTxTotal) / float64(packets))
+			}
+		}
+		for _, p := range cfg.Protocols {
+			res.Points[p][pi] = AmortizePoint{
+				FramesPerPacket: accTotal[p].Summary(),
+				DataPerPacket:   accData[p].Summary(),
+			}
+		}
+	}
+	return res, nil
+}

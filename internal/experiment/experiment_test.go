@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"testing"
+
+	"mtmrp/internal/graph"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+func gridScenario(t *testing.T, p Protocol, seed uint64, groupSize int) Scenario {
+	t.Helper()
+	topo := topology.PaperGrid()
+	rcv, err := topo.PickReceivers(0, groupSize, rng.New(seed).Derive("receivers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scenario{Topo: topo, Source: 0, Receivers: rcv, Protocol: p, Seed: seed}
+}
+
+func TestRunErrors(t *testing.T) {
+	topo := topology.PaperGrid()
+	if _, err := Run(Scenario{Topo: topo, Source: 0, Protocol: MTMRP}); err != ErrNoReceivers {
+		t.Errorf("want ErrNoReceivers, got %v", err)
+	}
+	if _, err := Run(Scenario{Topo: topo, Source: -1, Receivers: []int{1}}); err != ErrBadSource {
+		t.Errorf("want ErrBadSource, got %v", err)
+	}
+	if _, err := Run(Scenario{Receivers: []int{1}}); err != ErrBadSource {
+		t.Errorf("nil topo: want ErrBadSource, got %v", err)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for _, p := range []Protocol{MTMRP, MTMRPNoPHS, DODMRP, ODMRP, Flooding} {
+		a, err := Run(gridScenario(t, p, 7, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(gridScenario(t, p, 7, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Result.Transmissions != b.Result.Transmissions ||
+			a.Result.ExtraNodes != b.Result.ExtraNodes ||
+			a.Result.ControlTx != b.Result.ControlTx {
+			t.Errorf("%v: same-seed runs diverged: %+v vs %+v", p, a.Result, b.Result)
+		}
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	a, _ := Run(gridScenario(t, MTMRP, 1, 20))
+	diff := false
+	for seed := uint64(2); seed < 6; seed++ {
+		b, _ := Run(gridScenario(t, MTMRP, seed, 20))
+		if b.Result.Transmissions != a.Result.Transmissions {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("five different seeds produced identical transmission counts")
+	}
+}
+
+// TestForwarderSetConnectsReceivers verifies the structural invariant: the
+// data transmitters recorded by the metrics layer actually connect the
+// source to every reached receiver in the topology graph.
+func TestForwarderSetConnectsReceivers(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		for _, p := range []Protocol{MTMRP, MTMRPNoPHS, DODMRP, ODMRP} {
+			sc := gridScenario(t, p, seed, 15)
+			out, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adj := make([][]int, sc.Topo.N())
+			for i := range adj {
+				adj[i] = sc.Topo.Neighbors(i)
+			}
+			g := graph.FromAdjacency(adj)
+			fwd := map[int]bool{}
+			for _, f := range out.Result.Forwarders {
+				fwd[int(f)] = true
+			}
+			// Receivers that got data must be covered by source+forwarders.
+			var reached []int
+			for _, r := range sc.Receivers {
+				if out.Routers[r].GotData(out.Key) {
+					reached = append(reached, r)
+				}
+			}
+			if !g.CoversReceivers(0, fwd, reached) {
+				t.Errorf("%v seed %d: forwarder set does not cover reached receivers", p, seed)
+			}
+		}
+	}
+}
+
+// TestMTMRPBeatsODMRPOnAverage is the paper's headline claim at small
+// scale: over a handful of rounds, MTMRP needs fewer transmissions than
+// ODMRP on the grid.
+func TestMTMRPBeatsODMRPOnAverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	var mt, od, noPHS float64
+	const rounds = 15
+	for seed := uint64(0); seed < rounds; seed++ {
+		scM := gridScenario(t, MTMRP, seed, 20)
+		scO := scM
+		scO.Protocol = ODMRP
+		scN := scM
+		scN.Protocol = MTMRPNoPHS
+		a, err := Run(scM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(scO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Run(scN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt += float64(a.Result.Transmissions)
+		od += float64(b.Result.Transmissions)
+		noPHS += float64(c.Result.Transmissions)
+	}
+	if mt >= od {
+		t.Errorf("MTMRP mean %.1f not below ODMRP mean %.1f", mt/rounds, od/rounds)
+	}
+	if mt > noPHS {
+		t.Errorf("MTMRP mean %.1f above its no-PHS ablation %.1f", mt/rounds, noPHS/rounds)
+	}
+}
+
+func TestDeliveryHighOnGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	for _, p := range []Protocol{MTMRP, DODMRP} {
+		total, reached := 0, 0
+		for seed := uint64(0); seed < 10; seed++ {
+			out, err := Run(gridScenario(t, p, seed, 20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += out.Result.ReceiverCount
+			reached += out.Result.ReceiversReached
+		}
+		// Broadcast JoinReplys carry no MAC ACK, so an unlucky collision
+		// can strand a receiver — published static-scenario ODMRP sims
+		// report 95-99% PDR for the same reason.
+		ratio := float64(reached) / float64(total)
+		if ratio < 0.94 {
+			t.Errorf("%v delivery ratio %.3f < 0.94", p, ratio)
+		}
+	}
+}
+
+func TestFloodingCostsMost(t *testing.T) {
+	f, err := Run(gridScenario(t, Flooding, 3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(gridScenario(t, MTMRP, 3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Result.Transmissions <= m.Result.Transmissions {
+		t.Errorf("flooding (%d) should dwarf MTMRP (%d)",
+			f.Result.Transmissions, m.Result.Transmissions)
+	}
+	if f.Result.Transmissions < 90 {
+		t.Errorf("flooding on a 100-node grid transmitted only %d times",
+			f.Result.Transmissions)
+	}
+}
+
+func TestGroupSizeSweepSmall(t *testing.T) {
+	res, err := GroupSizeSweep(SweepConfig{
+		Topo:      GridTopo,
+		Sizes:     []int{5, 15},
+		Runs:      4,
+		Seed:      1,
+		Protocols: []Protocol{MTMRP, ODMRP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{MTMRP, ODMRP} {
+		for si := range []int{0, 1} {
+			s := res.Cell(p, si, MetricOverhead)
+			if s.N != 4 {
+				t.Errorf("%v size %d: n = %d, want 4", p, si, s.N)
+			}
+			if s.Mean <= 0 {
+				t.Errorf("%v size %d: zero overhead", p, si)
+			}
+		}
+	}
+	// Overhead should grow with group size.
+	if res.Cell(MTMRP, 1, MetricOverhead).Mean <= res.Cell(MTMRP, 0, MetricOverhead).Mean {
+		t.Error("overhead not increasing in group size (4-run noise is possible but suspicious)")
+	}
+}
+
+func TestGroupSizeSweepRandomTopo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random topology sweep")
+	}
+	res, err := GroupSizeSweep(SweepConfig{
+		Topo:      RandomTopo,
+		Sizes:     []int{10},
+		Runs:      3,
+		Seed:      2,
+		Protocols: []Protocol{MTMRP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell(MTMRP, 0, MetricDelivery).Mean < 0.8 {
+		t.Errorf("random-topology delivery %.2f suspiciously low",
+			res.Cell(MTMRP, 0, MetricDelivery).Mean)
+	}
+}
+
+func TestTuningSweepSmall(t *testing.T) {
+	res, err := TuningSweep(TuningConfig{
+		Topo:      GridTopo,
+		GroupSize: 10,
+		Ns:        []int{3, 5},
+		Deltas:    []sim.Time{sim.Millisecond, 10 * sim.Millisecond},
+		Runs:      3,
+		Seed:      1,
+		Protocols: []Protocol{MTMRP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := res.Surface[MTMRP]
+	if len(surf) != 2 || len(surf[0]) != 2 {
+		t.Fatalf("surface shape %dx%d", len(surf), len(surf[0]))
+	}
+	for ni := range surf {
+		for di := range surf[ni] {
+			if surf[ni][di].N != 3 || surf[ni][di].Mean <= 0 {
+				t.Errorf("cell (%d,%d) = %+v", ni, di, surf[ni][di])
+			}
+		}
+	}
+}
+
+func TestSnapshotRun(t *testing.T) {
+	snap, out, err := SnapshotRun(GridTopo, 10, MTMRP, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || out == nil {
+		t.Fatal("nil results")
+	}
+	tx, _ := snap.Counts()
+	if tx != out.Result.Transmissions {
+		t.Errorf("snapshot count %d != metric %d", tx, out.Result.Transmissions)
+	}
+	if r := snap.Render(); len(r) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{
+		MTMRP: "MTMRP", MTMRPNoPHS: "MTMRP w/o PHS",
+		DODMRP: "DODMRP", ODMRP: "ODMRP", Flooding: "Flooding",
+		Protocol(99): "Protocol(99)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricOverhead.String() != "normalized transmission overhead" {
+		t.Error("metric name")
+	}
+	if Metric(9).String() != "Metric(9)" {
+		t.Error("unknown metric name")
+	}
+}
+
+func TestTopoKindString(t *testing.T) {
+	if GridTopo.String() != "grid" || RandomTopo.String() != "random" {
+		t.Error("topo kind names")
+	}
+}

@@ -1,0 +1,406 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/stats"
+	"mtmrp/internal/topology"
+	"mtmrp/internal/trace"
+)
+
+// TopoKind selects the evaluation topology family of §V.A.
+type TopoKind uint8
+
+// The two topologies of the paper's evaluation.
+const (
+	GridTopo   TopoKind = iota // 10x10 grid, 200x200 m, 40 m range
+	RandomTopo                 // 200 uniform nodes, source at origin
+)
+
+// String implements fmt.Stringer.
+func (k TopoKind) String() string {
+	if k == GridTopo {
+		return "grid"
+	}
+	return "random"
+}
+
+// buildTopo materialises the topology for one Monte-Carlo round. The grid
+// is deterministic; the random topology is redrawn per round, as the paper
+// does via setdest.
+func buildTopo(kind TopoKind, round *rng.RNG) (*topology.Topology, error) {
+	if kind == GridTopo {
+		return topology.PaperGrid(), nil
+	}
+	return topology.PaperRandom(round.Derive("topology"))
+}
+
+// Metric indexes the three evaluation metrics of Figures 5–6.
+type Metric int
+
+// Metric identifiers.
+const (
+	MetricOverhead Metric = iota // normalized transmission overhead
+	MetricExtraNodes
+	MetricRelayProfit
+	MetricDelivery // delivery ratio (not in the paper's figures; reported for fidelity)
+	NumMetrics
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricOverhead:
+		return "normalized transmission overhead"
+	case MetricExtraNodes:
+		return "number of extra nodes"
+	case MetricRelayProfit:
+		return "average relay profit"
+	case MetricDelivery:
+		return "delivery ratio"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// SweepConfig parameterises a group-size sweep (Figures 5 and 6).
+type SweepConfig struct {
+	Topo      TopoKind
+	Sizes     []int // multicast group sizes; paper: 5..60 step 5
+	Runs      int   // Monte-Carlo rounds per size; paper: 100
+	Seed      uint64
+	Protocols []Protocol
+	N         int      // biased-backoff N (default 4)
+	Delta     sim.Time // slot unit δ (default 1 ms)
+	Workers   int      // parallel workers; 0 = GOMAXPROCS
+}
+
+// PaperSizes returns the group sizes of Figures 5–6: 5,10,...,60.
+func PaperSizes() []int {
+	var out []int
+	for s := 5; s <= 60; s += 5 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SweepResult holds one summary per (protocol, size, metric).
+type SweepResult struct {
+	Config  SweepConfig
+	Summary map[Protocol][][]stats.Summary // [protocol][sizeIdx][metric]
+}
+
+// Cell returns the summary for (protocol p, size index si, metric m).
+func (r *SweepResult) Cell(p Protocol, si int, m Metric) stats.Summary {
+	return r.Summary[p][si][int(m)]
+}
+
+// GroupSizeSweep runs the Monte-Carlo sweep behind Figure 5 (grid) or
+// Figure 6 (random). Rounds are paired: within a round, every protocol
+// sees the identical topology and receiver draw, which removes placement
+// variance from the comparison.
+func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = AllProtocols
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = PaperSizes()
+	}
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = sim.Millisecond
+	}
+
+	res := &SweepResult{Config: cfg, Summary: make(map[Protocol][][]stats.Summary)}
+	acc := make(map[Protocol][][]stats.Accumulator)
+	for _, p := range cfg.Protocols {
+		acc[p] = make([][]stats.Accumulator, len(cfg.Sizes))
+		for i := range acc[p] {
+			acc[p][i] = make([]stats.Accumulator, NumMetrics)
+		}
+	}
+
+	type job struct {
+		sizeIdx, run int
+	}
+	type outcome struct {
+		sizeIdx int
+		proto   Protocol
+		values  [NumMetrics]float64
+		err     error
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan job, workers)
+	outs := make(chan outcome, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				size := cfg.Sizes[j.sizeIdx]
+				round := rng.New(cfg.Seed).Derive(
+					fmt.Sprintf("round-%s-%d-%d", cfg.Topo, size, j.run))
+				topo, err := buildTopo(cfg.Topo, round)
+				if err != nil {
+					outs <- outcome{sizeIdx: j.sizeIdx, err: err}
+					continue
+				}
+				rcv, err := topo.PickReceivers(0, size, round.Derive("receivers"))
+				if err != nil {
+					outs <- outcome{sizeIdx: j.sizeIdx, err: err}
+					continue
+				}
+				for _, p := range cfg.Protocols {
+					out, err := Run(Scenario{
+						Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+						N: cfg.N, Delta: cfg.Delta,
+						Seed: round.Derive("run").Uint64(),
+					})
+					if err != nil {
+						outs <- outcome{sizeIdx: j.sizeIdx, proto: p, err: err}
+						continue
+					}
+					r := out.Result
+					outs <- outcome{
+						sizeIdx: j.sizeIdx,
+						proto:   p,
+						values: [NumMetrics]float64{
+							float64(r.Transmissions),
+							float64(r.ExtraNodes),
+							r.AvgRelayProfit,
+							r.DeliveryRatio,
+						},
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		for si := range cfg.Sizes {
+			for run := 0; run < cfg.Runs; run++ {
+				jobs <- job{sizeIdx: si, run: run}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+
+	var firstErr error
+	for o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		for m := 0; m < int(NumMetrics); m++ {
+			acc[o.proto][o.sizeIdx][m].Add(o.values[m])
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, p := range cfg.Protocols {
+		res.Summary[p] = make([][]stats.Summary, len(cfg.Sizes))
+		for si := range cfg.Sizes {
+			row := make([]stats.Summary, NumMetrics)
+			for m := 0; m < int(NumMetrics); m++ {
+				row[m] = acc[p][si][m].Summary()
+			}
+			res.Summary[p][si] = row
+		}
+	}
+	return res, nil
+}
+
+// TuningConfig parameterises the N x δ sweep of Figures 7–8.
+type TuningConfig struct {
+	Topo      TopoKind
+	GroupSize int // paper: 20 (grid, Fig. 7) / 15 (random, Fig. 8)
+	Ns        []int
+	Deltas    []sim.Time
+	Runs      int
+	Seed      uint64
+	Protocols []Protocol
+	Workers   int
+}
+
+// PaperNs returns the N axis of Figures 7–8.
+func PaperNs() []int { return []int{3, 4, 5, 6} }
+
+// PaperDeltas returns the δ axis of Figures 7–8 (1–30 ms).
+func PaperDeltas() []sim.Time {
+	return []sim.Time{
+		1 * sim.Millisecond, 5 * sim.Millisecond, 10 * sim.Millisecond,
+		15 * sim.Millisecond, 20 * sim.Millisecond, 25 * sim.Millisecond,
+		30 * sim.Millisecond,
+	}
+}
+
+// TuningResult holds the overhead surface per protocol:
+// Surface[p][ni][di] is the normalized transmission overhead at
+// (Ns[ni], Deltas[di]).
+type TuningResult struct {
+	Config  TuningConfig
+	Surface map[Protocol][][]stats.Summary
+}
+
+// TuningSweep runs the parameter study behind Figures 7–8.
+func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = AllProtocols
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	if len(cfg.Ns) == 0 {
+		cfg.Ns = PaperNs()
+	}
+	if len(cfg.Deltas) == 0 {
+		cfg.Deltas = PaperDeltas()
+	}
+	if cfg.GroupSize == 0 {
+		if cfg.Topo == GridTopo {
+			cfg.GroupSize = 20
+		} else {
+			cfg.GroupSize = 15
+		}
+	}
+
+	res := &TuningResult{Config: cfg, Surface: make(map[Protocol][][]stats.Summary)}
+	acc := make(map[Protocol][][]stats.Accumulator)
+	for _, p := range cfg.Protocols {
+		acc[p] = make([][]stats.Accumulator, len(cfg.Ns))
+		for i := range acc[p] {
+			acc[p][i] = make([]stats.Accumulator, len(cfg.Deltas))
+		}
+	}
+
+	type job struct{ ni, di, run int }
+	type outcome struct {
+		ni, di int
+		proto  Protocol
+		value  float64
+		err    error
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan job, workers)
+	outs := make(chan outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				round := rng.New(cfg.Seed).Derive(
+					fmt.Sprintf("tuning-%s-%d-%d", cfg.Topo, cfg.GroupSize, j.run))
+				topo, err := buildTopo(cfg.Topo, round)
+				if err != nil {
+					outs <- outcome{ni: j.ni, di: j.di, err: err}
+					continue
+				}
+				rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+				if err != nil {
+					outs <- outcome{ni: j.ni, di: j.di, err: err}
+					continue
+				}
+				for _, p := range cfg.Protocols {
+					out, err := Run(Scenario{
+						Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+						N: cfg.Ns[j.ni], Delta: cfg.Deltas[j.di],
+						Seed: round.Derive("run").Uint64(),
+					})
+					if err != nil {
+						outs <- outcome{ni: j.ni, di: j.di, proto: p, err: err}
+						continue
+					}
+					outs <- outcome{ni: j.ni, di: j.di, proto: p,
+						value: float64(out.Result.Transmissions)}
+				}
+			}
+		}()
+	}
+	go func() {
+		for ni := range cfg.Ns {
+			for di := range cfg.Deltas {
+				for run := 0; run < cfg.Runs; run++ {
+					jobs <- job{ni: ni, di: di, run: run}
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+	var firstErr error
+	for o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		acc[o.proto][o.ni][o.di].Add(o.value)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, p := range cfg.Protocols {
+		res.Surface[p] = make([][]stats.Summary, len(cfg.Ns))
+		for ni := range cfg.Ns {
+			row := make([]stats.Summary, len(cfg.Deltas))
+			for di := range cfg.Deltas {
+				row[di] = acc[p][ni][di].Summary()
+			}
+			res.Surface[p][ni] = row
+		}
+	}
+	return res, nil
+}
+
+// SnapshotRun reproduces one panel of Figures 9–10: a single session on a
+// fixed seed, returning the rendered field and the caption counts.
+func SnapshotRun(kind TopoKind, groupSize int, p Protocol, seed uint64) (*trace.Snapshot, *Outcome, error) {
+	round := rng.New(seed).Derive(fmt.Sprintf("snapshot-%s-%d", kind, groupSize))
+	topo, err := buildTopo(kind, round)
+	if err != nil {
+		return nil, nil, err
+	}
+	rcv, err := topo.PickReceivers(0, groupSize, round.Derive("receivers"))
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Run(Scenario{
+		Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+		Seed: round.Derive("run").Uint64(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var fwd []int
+	for _, f := range out.Result.Forwarders {
+		fwd = append(fwd, int(f))
+	}
+	snap := trace.NewSnapshot(topo.Side, topo.Positions, 0, rcv, fwd)
+	return snap, out, nil
+}

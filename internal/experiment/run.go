@@ -1,0 +1,279 @@
+// Package experiment orchestrates complete simulated multicast sessions
+// and the Monte-Carlo sweeps that reproduce the paper's Figures 5–10:
+// build a topology, wire up a protocol on every node, run the HELLO phase,
+// flood the JoinQuery, let the tree form, push one data packet down it, and
+// collect the paper's metrics.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mtmrp/internal/core"
+	"mtmrp/internal/dodmrp"
+	"mtmrp/internal/energy"
+	"mtmrp/internal/flood"
+	"mtmrp/internal/gmr"
+	"mtmrp/internal/metrics"
+	"mtmrp/internal/network"
+	"mtmrp/internal/odmrp"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/proto"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+	"mtmrp/internal/trace"
+)
+
+// Protocol selects the routing protocol under test.
+type Protocol uint8
+
+// The protocols compared in the paper's evaluation, plus the flooding
+// strawman from the introduction.
+const (
+	MTMRP Protocol = iota
+	MTMRPNoPHS
+	DODMRP
+	ODMRP
+	Flooding
+	GMR // stateless geographic multicast (related-work baseline)
+)
+
+// String implements fmt.Stringer, matching the paper's figure legends.
+func (p Protocol) String() string {
+	switch p {
+	case MTMRP:
+		return "MTMRP"
+	case MTMRPNoPHS:
+		return "MTMRP w/o PHS"
+	case DODMRP:
+		return "DODMRP"
+	case ODMRP:
+		return "ODMRP"
+	case Flooding:
+		return "Flooding"
+	case GMR:
+		return "GMR"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// AllProtocols lists the four protocols of Figures 5–8 in legend order.
+var AllProtocols = []Protocol{MTMRP, MTMRPNoPHS, DODMRP, ODMRP}
+
+// Scenario describes one simulated session.
+type Scenario struct {
+	Topo      *topology.Topology
+	Source    int
+	Receivers []int
+	Protocol  Protocol
+
+	// N and Delta are the biased-backoff parameters (paper defaults 4 and
+	// 1 ms; zero values take the defaults).
+	N     int
+	Delta sim.Time
+
+	// Seed drives every stochastic component of the run.
+	Seed uint64
+
+	// MAC and DisableCollisions select the channel realism (defaults:
+	// CSMA with collisions — the paper's setting).
+	MAC               network.MACKind
+	DisableCollisions bool
+
+	// ShadowingSigmaDB enables log-normal fading (0 = the paper's
+	// setting: "the shadowing fading factor is not considered").
+	ShadowingSigmaDB float64
+
+	// PayloadLen is the DATA payload size in bytes (default 64).
+	PayloadLen int
+
+	// DataPackets is how many data packets the source pushes down the
+	// constructed tree (default 1). More packets amortise the discovery
+	// cost — the trade-off §V.B.3 discusses.
+	DataPackets int
+
+	// DiscoveryRounds is how many times the source floods a JoinQuery
+	// before the data phase (default 2). On-demand mesh protocols refresh
+	// their routes with periodic JoinQuery floods (ODMRP's refresh
+	// interval); without at least one refresh, a single collision in the
+	// JoinReply phase can orphan a partially-built tree — later replies
+	// stop at nodes already flagged as forwarders whose own path to the
+	// source never completed. Data flows down the tree of the last round.
+	DiscoveryRounds int
+
+	// Proto overrides the shared protocol timing; nil takes defaults.
+	Proto *proto.Config
+
+	// Core overrides the full MTMRP configuration (ablation studies);
+	// nil derives it from Protocol/N/Delta. Ignored for non-MTMRP
+	// protocols.
+	Core *core.Config
+
+	// TraceWriter, when non-nil, receives the JSONL event log of the run
+	// (one line per frame transmitted or delivered).
+	TraceWriter io.Writer
+}
+
+// Errors returned by Run.
+var (
+	ErrNoReceivers = errors.New("experiment: scenario has no receivers")
+	ErrBadSource   = errors.New("experiment: source index out of range")
+)
+
+// Outcome bundles the metrics of one run with the session bookkeeping the
+// figure drivers need.
+type Outcome struct {
+	Result   metrics.Result
+	Key      packet.FloodKey
+	Net      *network.Network
+	Routers  []proto.Router
+	Scenario Scenario
+}
+
+// Run executes one complete session and returns its metrics.
+func Run(sc Scenario) (*Outcome, error) {
+	if len(sc.Receivers) == 0 {
+		return nil, ErrNoReceivers
+	}
+	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
+		return nil, ErrBadSource
+	}
+	if sc.N == 0 {
+		sc.N = 4
+	}
+	if sc.Delta == 0 {
+		sc.Delta = sim.Millisecond
+	}
+	if sc.PayloadLen == 0 {
+		sc.PayloadLen = 64
+	}
+
+	cfg := network.DefaultConfig(sc.Seed)
+	cfg.Radio = radioFor(sc.Topo)
+	cfg.MAC = sc.MAC
+	cfg.DisableCollisions = sc.DisableCollisions
+	cfg.ShadowingSigmaDB = sc.ShadowingSigmaDB
+	net := network.New(sc.Topo, cfg)
+
+	pcfg := proto.DefaultConfig()
+	if sc.Proto != nil {
+		pcfg = *sc.Proto
+	}
+
+	routers := make([]proto.Router, sc.Topo.N())
+	for i := 0; i < sc.Topo.N(); i++ {
+		routers[i] = buildRouter(sc, pcfg)
+		net.SetProtocol(i, routers[i])
+	}
+
+	const group packet.GroupID = 1
+	for _, r := range sc.Receivers {
+		net.Nodes[r].JoinGroup(group)
+	}
+	// Geographic multicast assumes the source knows its receivers.
+	if src, ok := routers[sc.Source].(interface {
+		SetDestinations([]packet.NodeID)
+	}); ok {
+		dests := make([]packet.NodeID, len(sc.Receivers))
+		for i, r := range sc.Receivers {
+			dests[i] = packet.NodeID(r)
+		}
+		src.SetDestinations(dests)
+	}
+
+	col := metrics.NewCollector(net, packet.NodeID(sc.Source), group, sc.Receivers)
+	meter := energy.NewMeter(sc.Topo, cfg.Radio, energy.DefaultModel())
+	meter.Attach(net)
+	var logger *trace.Logger
+	if sc.TraceWriter != nil {
+		logger = trace.NewLogger(sc.TraceWriter)
+		logger.Attach(net)
+	}
+
+	// Phase 1: HELLO exchange. Run drains the queue: all beacons are
+	// scheduled up front and finite.
+	net.Start()
+	net.Run()
+
+	// Phase 2: route discovery, with refresh rounds.
+	rounds := sc.DiscoveryRounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	var key packet.FloodKey
+	for i := 0; i < rounds; i++ {
+		key = routers[sc.Source].FloodQuery(group)
+		net.Run()
+	}
+
+	// Phase 3: data packets down the tree.
+	packets := sc.DataPackets
+	if packets <= 0 {
+		packets = 1
+	}
+	for i := 0; i < packets; i++ {
+		routers[sc.Source].SendData(key, sc.PayloadLen)
+		net.Run()
+	}
+
+	if logger != nil && logger.Err() != nil {
+		return nil, fmt.Errorf("experiment: trace log: %w", logger.Err())
+	}
+	res := col.Snapshot()
+	res.EnergyTotalJ = meter.TotalEnergy()
+	_, res.EnergyMaxNodeJ = meter.MaxNodeEnergy()
+	return &Outcome{
+		Result:   res,
+		Key:      key,
+		Net:      net,
+		Routers:  routers,
+		Scenario: sc,
+	}, nil
+}
+
+// radioFor derives PHY parameters matching the topology's nominal range,
+// with the ns-2 default 2.2x carrier-sense ratio.
+func radioFor(t *topology.Topology) radio.Params {
+	return radio.MustDefault80211Params(t.Range, 2.2)
+}
+
+func buildRouter(sc Scenario, pcfg proto.Config) proto.Router {
+	switch sc.Protocol {
+	case MTMRP, MTMRPNoPHS:
+		if sc.Core != nil {
+			return core.New(*sc.Core)
+		}
+		c := core.DefaultConfig()
+		c.N = sc.N
+		c.Delta = sc.Delta
+		c.PHS = sc.Protocol == MTMRP
+		c.Proto = pcfg
+		return core.New(c)
+	case DODMRP:
+		c := dodmrp.DefaultConfig()
+		c.N = sc.N
+		c.Delta = sc.Delta
+		c.Proto = pcfg
+		return dodmrp.New(c)
+	case ODMRP:
+		c := odmrp.DefaultConfig()
+		c.Jitter = sc.Delta
+		c.Proto = pcfg
+		return odmrp.New(c)
+	case Flooding:
+		return flood.New(flood.DefaultConfig())
+	case GMR:
+		return gmr.New(gmr.DefaultConfig())
+	default:
+		panic(fmt.Sprintf("experiment: unknown protocol %d", sc.Protocol))
+	}
+}
+
+// PickReceivers draws a fresh receiver set for a Monte-Carlo round.
+func PickReceivers(t *topology.Topology, source, k int, r *rng.RNG) ([]int, error) {
+	return t.PickReceivers(source, k, r)
+}

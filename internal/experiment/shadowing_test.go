@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"testing"
+
+	"mtmrp/internal/proto"
+)
+
+func TestShadowingSweepSmall(t *testing.T) {
+	res, err := ShadowingSweep(ShadowingConfig{
+		Topo: GridTopo, GroupSize: 10, SigmasDB: []float64{0, 1}, Runs: 3, Seed: 6,
+		Protocols: []Protocol{MTMRP, ODMRP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{MTMRP, ODMRP} {
+		if len(res.Overhead[p]) != 2 || res.Overhead[p][0].N != 3 {
+			t.Fatalf("%v: malformed result", p)
+		}
+		// Mild fading (1 dB) must not collapse delivery: the link-quality
+		// gate keeps trees on solid links.
+		if s := res.Delivery[p][1]; s.Mean < 0.6 {
+			t.Errorf("%v at 1 dB: delivery %.2f collapsed", p, s.Mean)
+		}
+	}
+}
+
+func TestShadowedChannelStillDelivers(t *testing.T) {
+	sc := gridScenario(t, MTMRP, 9, 10)
+	sc.ShadowingSigmaDB = 1
+	out, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.DeliveryRatio < 0.6 {
+		t.Errorf("delivery %.2f under 1 dB shadowing", out.Result.DeliveryRatio)
+	}
+}
+
+// TestQualityGateMatters demonstrates why MinHelloCount exists: without
+// the gate, fading-channel trees are built over lucky long links whose
+// reverse JoinReplys are lost, and delivery collapses.
+func TestQualityGateMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	delivery := func(minHello int) float64 {
+		total := 0.0
+		const runs = 8
+		for s := uint64(0); s < runs; s++ {
+			sc := gridScenario(t, MTMRP, 50+s, 15)
+			sc.ShadowingSigmaDB = 1
+			pc := defaultProtoForTest()
+			pc.MinHelloCount = minHello
+			sc.Proto = &pc
+			out, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += out.Result.DeliveryRatio
+		}
+		return total / runs
+	}
+	gated := delivery(2)
+	ungated := delivery(0)
+	if gated <= ungated {
+		t.Errorf("quality gate should improve fading delivery: gated %.2f vs ungated %.2f",
+			gated, ungated)
+	}
+}
+
+// defaultProtoForTest returns the engine timing defaults for tests that
+// tweak a single knob.
+func defaultProtoForTest() proto.Config { return proto.DefaultConfig() }

@@ -1,0 +1,112 @@
+// Package flood implements the naive flooding baseline from the paper's
+// introduction: every node rebroadcasts each data packet exactly once, so
+// delivery needs no route discovery but costs on the order of N
+// transmissions. It exists as the upper-bound comparator and to exercise
+// the channel under worst-case load.
+package flood
+
+import (
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// Config tunes the flooding baseline.
+type Config struct {
+	// Jitter is the uniform delay before a node rebroadcasts, to
+	// de-synchronise the broadcast storm. Defaults to 2 ms.
+	Jitter sim.Time
+}
+
+// DefaultConfig returns the baseline configuration.
+func DefaultConfig() Config { return Config{Jitter: 2 * sim.Millisecond} }
+
+// Router floods every data packet once. It ignores HELLO/JoinQuery/
+// JoinReply traffic and satisfies proto.Router's session API trivially:
+// FloodQuery is a no-op that just allocates the session key (flooding
+// needs no discovery), and every node acts as a forwarder.
+type Router struct {
+	cfg     Config
+	node    *network.Node
+	rnd     *rng.RNG
+	seen    map[packet.DataKey]bool
+	got     map[packet.FloodKey]int
+	dataSeq map[packet.FloodKey]uint32
+	nextSeq uint32
+}
+
+// New builds a flooding router.
+func New(cfg Config) *Router {
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 2 * sim.Millisecond
+	}
+	return &Router{
+		cfg:     cfg,
+		seen:    make(map[packet.DataKey]bool),
+		got:     make(map[packet.FloodKey]int),
+		dataSeq: make(map[packet.FloodKey]uint32),
+	}
+}
+
+// Name implements proto.Router.
+func (r *Router) Name() string { return "Flooding" }
+
+// Attach implements network.Protocol.
+func (r *Router) Attach(n *network.Node) {
+	r.node = n
+	r.rnd = n.Rand.Derive("flood")
+}
+
+// Start implements network.Protocol. Flooding needs no initialization.
+func (r *Router) Start() {}
+
+// Receive implements network.Protocol.
+func (r *Router) Receive(p *packet.Packet) {
+	if p.Type != packet.TData {
+		return
+	}
+	d := *p.Data
+	if r.seen[d.PacketKey()] {
+		return
+	}
+	r.seen[d.PacketKey()] = true
+	r.got[d.Key()]++
+	delay := sim.Time(r.rnd.Uint64n(uint64(r.cfg.Jitter)))
+	r.node.After(delay, func() {
+		r.node.Send(packet.NewData(r.node.ID, d))
+	})
+}
+
+// FloodQuery implements proto.Router; flooding has no discovery phase.
+func (r *Router) FloodQuery(g packet.GroupID) packet.FloodKey {
+	r.nextSeq++
+	return packet.FloodKey{Source: r.node.ID, Group: g, Seq: r.nextSeq}
+}
+
+// SendData implements proto.Router.
+func (r *Router) SendData(key packet.FloodKey, payloadLen int) {
+	r.dataSeq[key]++
+	d := packet.Data{
+		SourceID:   key.Source,
+		GroupID:    key.Group,
+		SequenceNo: key.Seq,
+		DataSeq:    r.dataSeq[key],
+		PayloadLen: payloadLen,
+	}
+	r.seen[d.PacketKey()] = true
+	r.got[key]++
+	r.node.Send(packet.NewData(r.node.ID, d))
+}
+
+// IsForwarder implements proto.Router: every node forwards.
+func (r *Router) IsForwarder(key packet.FloodKey) bool { return true }
+
+// Covered implements proto.Router.
+func (r *Router) Covered(key packet.FloodKey) bool { return r.got[key] > 0 }
+
+// GotData implements proto.Router.
+func (r *Router) GotData(key packet.FloodKey) bool { return r.got[key] > 0 }
+
+// RepliesHeard implements proto.Router; flooding has no replies.
+func (r *Router) RepliesHeard(key packet.FloodKey) int { return 0 }

@@ -1,0 +1,229 @@
+// Package gmr implements a geographic multicast routing baseline in the
+// style of GMR (Sanchez, Ruiz & Stojmenovic, SECON'06), the stateless
+// family the paper's related work (§II) contrasts with tree-based
+// protocols: "the geographic multicast routing can remove the need for
+// state maintenance ... under the assumption that each node knows its own
+// geographical location and the source node knows the locations of all
+// the multicast receivers."
+//
+// Operation is entirely per-packet: the data header carries, for each
+// selected neighbor, the subset of destinations that neighbor is
+// responsible for. At every hop the holder solves the splitting decision
+// the paper calls "the most challenging problem" of this family — which
+// destinations to delegate to which neighbor — with GMR's greedy rule:
+// each destination goes to the neighbor geographically closest to it
+// (restricted to neighbors that make forward progress), and neighbors
+// sharing destinations are merged into one broadcast frame.
+//
+// There is no HELLO/JoinQuery/JoinReply machinery and no per-session
+// state; the price is a per-packet header that grows with the group size
+// and a transmission count that cannot exploit overheard coverage.
+package gmr
+
+import (
+	"sort"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Jitter de-synchronises forwarding broadcasts (default 1 ms).
+	Jitter sim.Time
+	// TTL bounds the per-packet hop budget (default 64); greedy
+	// geographic routing can loop around voids, and TTL converts a loop
+	// into a bounded loss.
+	TTL int32
+}
+
+// DefaultConfig returns the baseline configuration.
+func DefaultConfig() Config {
+	return Config{Jitter: sim.Millisecond, TTL: 64}
+}
+
+// Router is a GMR instance for one node. Positions come from the network
+// topology — the standing location-awareness assumption of geographic
+// routing.
+type Router struct {
+	cfg     Config
+	node    *network.Node
+	rnd     *rng.RNG
+	handled map[packet.DataKey]map[packet.NodeID]bool // dests already processed per packet
+	got     map[packet.FloodKey]int
+	dataSeq map[packet.FloodKey]uint32
+	nextSeq uint32
+	dests   []packet.NodeID // the source's destination list
+}
+
+// New builds a GMR router.
+func New(cfg Config) *Router {
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = sim.Millisecond
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 64
+	}
+	return &Router{
+		cfg:     cfg,
+		handled: make(map[packet.DataKey]map[packet.NodeID]bool),
+		got:     make(map[packet.FloodKey]int),
+		dataSeq: make(map[packet.FloodKey]uint32),
+	}
+}
+
+// Name implements proto.Router.
+func (r *Router) Name() string { return "GMR" }
+
+// Attach implements network.Protocol.
+func (r *Router) Attach(n *network.Node) {
+	r.node = n
+	r.rnd = n.Rand.Derive("gmr")
+}
+
+// Start implements network.Protocol. Stateless: nothing to bootstrap.
+func (r *Router) Start() {}
+
+// SetDestinations installs the multicast receiver list at the source (the
+// paper's assumption that the source knows all receiver locations).
+func (r *Router) SetDestinations(dests []packet.NodeID) {
+	r.dests = append([]packet.NodeID(nil), dests...)
+}
+
+// FloodQuery implements proto.Router; geographic multicast has no
+// discovery phase, so this only allocates a session key.
+func (r *Router) FloodQuery(g packet.GroupID) packet.FloodKey {
+	r.nextSeq++
+	return packet.FloodKey{Source: r.node.ID, Group: g, Seq: r.nextSeq}
+}
+
+// SendData implements proto.Router: split the destination set and
+// broadcast the first hop.
+func (r *Router) SendData(key packet.FloodKey, payloadLen int) {
+	r.dataSeq[key]++
+	g := packet.GeoData{
+		SourceID:   key.Source,
+		GroupID:    key.Group,
+		SequenceNo: key.Seq,
+		DataSeq:    r.dataSeq[key],
+		PayloadLen: payloadLen,
+		TTL:        r.cfg.TTL,
+	}
+	r.got[key]++
+	g.Assign = r.split(r.dests)
+	if len(g.Assign) == 0 {
+		return // every destination is the source itself
+	}
+	r.node.Send(packet.NewGeoData(r.node.ID, g))
+}
+
+// Receive implements network.Protocol.
+func (r *Router) Receive(p *packet.Packet) {
+	if p.Type != packet.TGeoData {
+		return
+	}
+	g := *p.Geo
+	key := g.Key()
+	mine := g.DestsFor(r.node.ID)
+	if mine == nil {
+		return // overheard a frame addressed to other branches
+	}
+	// Two upstream holders may both delegate through this node; process
+	// each destination of the packet at most once.
+	done := r.handled[g.PacketKey()]
+	if done == nil {
+		done = make(map[packet.NodeID]bool)
+		r.handled[g.PacketKey()] = done
+	}
+	var remaining []packet.NodeID
+	for _, d := range mine {
+		if done[d] {
+			continue
+		}
+		done[d] = true
+		if d == r.node.ID {
+			r.got[key]++
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	if len(remaining) == 0 || g.TTL <= 1 {
+		return
+	}
+	out := g
+	out.TTL = g.TTL - 1
+	out.Assign = r.split(remaining)
+	if len(out.Assign) == 0 {
+		return // stuck in a void: greedy has no forward neighbor
+	}
+	r.node.After(sim.Time(r.rnd.Uint64n(uint64(r.cfg.Jitter))), func() {
+		r.node.Send(packet.NewGeoData(r.node.ID, out))
+	})
+}
+
+// split partitions destinations among neighbors: each destination is
+// delegated to the neighbor closest to it, provided that neighbor is
+// strictly closer to the destination than this node (greedy progress).
+// Destinations that happen to be direct neighbors are delegated to
+// themselves — the broadcast reaches them in the same frame.
+func (r *Router) split(dests []packet.NodeID) []packet.GeoAssign {
+	topo := r.node.Net().Topo
+	self := topo.Positions[r.node.Pos]
+	neighbors := topo.Neighbors(r.node.Pos)
+
+	byNext := make(map[packet.NodeID][]packet.NodeID)
+	var order []packet.NodeID
+	for _, d := range dests {
+		if d == r.node.ID {
+			continue
+		}
+		dp := topo.Positions[int(d)]
+		best := packet.NoNode
+		bestDist := self.Dist(dp) // progress constraint: beat own distance
+		for _, nb := range neighbors {
+			nd := topo.Positions[nb].Dist(dp)
+			if nd < bestDist {
+				bestDist = nd
+				best = packet.NodeID(nb)
+			}
+		}
+		if best == packet.NoNode {
+			continue // void: drop this destination (bounded by TTL anyway)
+		}
+		if _, ok := byNext[best]; !ok {
+			order = append(order, best)
+		}
+		byNext[best] = append(byNext[best], d)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]packet.GeoAssign, 0, len(order))
+	for _, next := range order {
+		out = append(out, packet.GeoAssign{Next: next, Dests: byNext[next]})
+	}
+	return out
+}
+
+// IsForwarder implements proto.Router: stateless protocols have no
+// standing forwarder flags; report whether this node relayed any frame of
+// the session (approximated by having seen one addressed to it).
+func (r *Router) IsForwarder(key packet.FloodKey) bool { return false }
+
+// Covered implements proto.Router.
+func (r *Router) Covered(key packet.FloodKey) bool { return r.got[key] > 0 }
+
+// GotData implements proto.Router.
+func (r *Router) GotData(key packet.FloodKey) bool { return r.got[key] > 0 }
+
+// DataReceived reports packets delivered to this node for the session.
+func (r *Router) DataReceived(key packet.FloodKey) int { return r.got[key] }
+
+// RepliesHeard implements proto.Router; there are no replies.
+func (r *Router) RepliesHeard(key packet.FloodKey) int { return 0 }
+
+// Pos returns this node's own position (a convenience for diagnostics).
+func (r *Router) Pos() geom.Point {
+	return r.node.Net().Topo.Positions[r.node.Pos]
+}

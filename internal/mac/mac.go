@@ -1,0 +1,251 @@
+// Package mac implements the medium-access layer between routing protocols
+// and the shared channel.
+//
+// CSMA is an IEEE 802.11-style DCF for broadcast frames: carrier sense,
+// DIFS, and a slotted random backoff that freezes while the medium is busy.
+// Broadcast frames have no RTS/CTS, no ACK and no retransmission — exactly
+// the service ns-2's Mac/802_11 gives the paper's control floods.
+//
+// Ideal is a zero-contention MAC that transmits immediately (serialised per
+// node); combined with channel.Config.DisableCollisions it yields fully
+// deterministic protocol unit tests.
+package mac
+
+import (
+	"mtmrp/internal/channel"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// MAC is the service a routing protocol sees.
+type MAC interface {
+	// Send queues a frame for (broadcast) transmission.
+	Send(p *packet.Packet)
+	// SetUpper installs the receive callback. Must be called before the
+	// simulation starts.
+	SetUpper(fn func(*packet.Packet))
+}
+
+// CSMAConfig carries the 802.11 DCF timing constants. DefaultCSMAConfig
+// gives the standard DSSS values.
+type CSMAConfig struct {
+	SlotTime sim.Time // backoff slot (DSSS: 20 us)
+	DIFS     sim.Time // DCF inter-frame space (DSSS: 50 us)
+	CW       int      // contention window in slots (broadcast: fixed CWmin)
+	MaxQueue int      // transmit queue bound; overflow drops the newest frame
+}
+
+// DefaultCSMAConfig returns 802.11 DSSS timings.
+func DefaultCSMAConfig() CSMAConfig {
+	return CSMAConfig{
+		SlotTime: 20 * sim.Microsecond,
+		DIFS:     50 * sim.Microsecond,
+		CW:       32,
+		MaxQueue: 64,
+	}
+}
+
+// csmaState enumerates the DCF stages.
+type csmaState uint8
+
+const (
+	csmaIdle    csmaState = iota // nothing to send
+	csmaDefer                    // waiting for the medium to go idle
+	csmaDIFS                     // medium idle, waiting out DIFS
+	csmaBackoff                  // counting down backoff slots
+	csmaTx                       // frame on the air
+)
+
+// CSMA is the contention MAC. One instance per node.
+type CSMA struct {
+	sim   *sim.Simulator
+	ch    *channel.Channel
+	idx   int
+	cfg   CSMAConfig
+	rnd   *rng.RNG
+	upper func(*packet.Packet)
+
+	state   csmaState
+	queue   []*packet.Packet
+	slots   int        // remaining backoff slots
+	timer   *sim.Event // pending DIFS/slot/tx-end timer
+	busy    bool       // local carrier state
+	Dropped uint64     // frames dropped due to queue overflow
+}
+
+// NewCSMA builds the MAC for node idx and attaches it to the channel.
+func NewCSMA(s *sim.Simulator, ch *channel.Channel, idx int, cfg CSMAConfig, rnd *rng.RNG) *CSMA {
+	m := &CSMA{sim: s, ch: ch, idx: idx, cfg: cfg, rnd: rnd, slots: -1}
+	ch.Attach(idx, m)
+	return m
+}
+
+// SetUpper implements MAC.
+func (m *CSMA) SetUpper(fn func(*packet.Packet)) { m.upper = fn }
+
+// QueueLen reports the number of frames waiting (for tests).
+func (m *CSMA) QueueLen() int { return len(m.queue) }
+
+// Send implements MAC.
+func (m *CSMA) Send(p *packet.Packet) {
+	if m.cfg.MaxQueue > 0 && len(m.queue) >= m.cfg.MaxQueue {
+		m.Dropped++
+		return
+	}
+	m.queue = append(m.queue, p)
+	if m.state == csmaIdle {
+		m.start()
+	}
+}
+
+// start begins contention for the head-of-line frame.
+func (m *CSMA) start() {
+	if len(m.queue) == 0 {
+		m.state = csmaIdle
+		return
+	}
+	if m.busy {
+		// 802.11: a frame arriving to a busy medium must draw a random
+		// backoff, otherwise every deferring neighbor would fire exactly
+		// DIFS after the medium clears and collide.
+		if m.slots < 0 {
+			m.slots = m.rnd.Intn(m.cfg.CW)
+		}
+		m.state = csmaDefer // CarrierChanged(false) resumes
+		return
+	}
+	// Medium idle: wait out DIFS, then transmit (or run down a frozen
+	// backoff left over from an interrupted attempt).
+	m.state = csmaDIFS
+	m.timer = m.sim.After(m.cfg.DIFS, m.afterDIFS)
+}
+
+func (m *CSMA) afterDIFS() {
+	m.timer = nil
+	if m.slots < 0 {
+		// Fresh frame, medium was idle through DIFS: 802.11 allows
+		// immediate transmission. A random backoff is drawn only after
+		// a deferral (set in CarrierChanged).
+		m.transmit()
+		return
+	}
+	m.state = csmaBackoff
+	m.tickSlot()
+}
+
+func (m *CSMA) tickSlot() {
+	if m.slots == 0 {
+		m.transmit()
+		return
+	}
+	m.timer = m.sim.After(m.cfg.SlotTime, func() {
+		m.timer = nil
+		m.slots--
+		m.tickSlot()
+	})
+}
+
+func (m *CSMA) transmit() {
+	p := m.queue[0]
+	m.queue = m.queue[1:]
+	m.state = csmaTx
+	m.slots = -1
+	dur := m.ch.Transmit(m.idx, p)
+	m.timer = m.sim.After(dur, func() {
+		m.timer = nil
+		m.state = csmaIdle
+		m.start()
+	})
+}
+
+// CarrierChanged implements channel.Radio.
+func (m *CSMA) CarrierChanged(busy bool) {
+	m.busy = busy
+	switch m.state {
+	case csmaDIFS:
+		if busy {
+			// DIFS interrupted: next attempt must use a random backoff.
+			m.sim.Cancel(m.timer)
+			m.timer = nil
+			if m.slots < 0 {
+				m.slots = m.rnd.Intn(m.cfg.CW)
+			}
+			m.state = csmaDefer
+		}
+	case csmaBackoff:
+		if busy {
+			// Freeze the countdown; remaining slots persist.
+			m.sim.Cancel(m.timer)
+			m.timer = nil
+			m.state = csmaDefer
+		}
+	case csmaDefer:
+		if !busy {
+			m.start()
+		}
+	case csmaIdle, csmaTx:
+		// Nothing to do: no pending frame, or our own transmission
+		// (completion is handled by the tx-end timer).
+	}
+}
+
+// FrameReceived implements channel.Radio.
+func (m *CSMA) FrameReceived(p *packet.Packet) {
+	if m.upper != nil {
+		m.upper(p)
+	}
+}
+
+// Ideal is a contention-free MAC: frames go on the air immediately, back to
+// back, with no carrier sense. Collisions still occur at the channel unless
+// the channel is configured without them.
+type Ideal struct {
+	sim   *sim.Simulator
+	ch    *channel.Channel
+	idx   int
+	upper func(*packet.Packet)
+
+	sending bool
+	queue   []*packet.Packet
+}
+
+// NewIdeal builds the contention-free MAC for node idx.
+func NewIdeal(s *sim.Simulator, ch *channel.Channel, idx int) *Ideal {
+	m := &Ideal{sim: s, ch: ch, idx: idx}
+	ch.Attach(idx, m)
+	return m
+}
+
+// SetUpper implements MAC.
+func (m *Ideal) SetUpper(fn func(*packet.Packet)) { m.upper = fn }
+
+// Send implements MAC.
+func (m *Ideal) Send(p *packet.Packet) {
+	m.queue = append(m.queue, p)
+	if !m.sending {
+		m.next()
+	}
+}
+
+func (m *Ideal) next() {
+	if len(m.queue) == 0 {
+		m.sending = false
+		return
+	}
+	m.sending = true
+	p := m.queue[0]
+	m.queue = m.queue[1:]
+	dur := m.ch.Transmit(m.idx, p)
+	m.sim.After(dur, m.next)
+}
+
+// FrameReceived implements channel.Radio.
+func (m *Ideal) FrameReceived(p *packet.Packet) {
+	if m.upper != nil {
+		m.upper(p)
+	}
+}
+
+// CarrierChanged implements channel.Radio. Ideal ignores the carrier.
+func (m *Ideal) CarrierChanged(bool) {}

@@ -1,0 +1,220 @@
+// Package metrics observes a simulated multicast session and computes the
+// paper's three evaluation metrics (§V.A):
+//
+//   - normalized transmission overhead — the number of transmissions
+//     required to deliver one data packet from the source to all multicast
+//     receivers (the count of DATA frames put on the air);
+//   - number of extra nodes — data transmitters that are neither the source
+//     nor multicast group members;
+//   - average relay profit — for each relay, the number of receivers whose
+//     first copy of the data arrived from that relay's transmission,
+//     averaged over the relays (transmitters other than the source).
+//
+// It also tracks control overhead per packet type, delivery ratio, and
+// per-node energy via the energy model, all fed by the network's
+// OnTransmit/OnDeliver hooks.
+package metrics
+
+import (
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+)
+
+// Collector subscribes to a network and accumulates per-session counters.
+// Create it before running the simulation; call Snapshot afterwards.
+type Collector struct {
+	net       *network.Network
+	source    packet.NodeID
+	group     packet.GroupID
+	receivers map[packet.NodeID]bool
+
+	txByType    [packet.NumTypes]uint64
+	dataTx      []packet.NodeID                 // distinct transmitters of DATA, in order
+	dataTxSet   map[packet.NodeID]bool          // dedup
+	dataTxTotal uint64                          // all DATA frames (multi-packet sessions)
+	firstFrom   map[packet.NodeID]packet.NodeID // receiver -> transmitter of first DATA copy
+	rxData      map[packet.NodeID]bool          // nodes that received DATA at all
+	bytesTx     uint64
+	bytesRx     uint64
+	controlTx   uint64 // HELLO + JQ + JR transmissions
+	prevOnAir   func(*network.Node, *packet.Packet)
+	prevOnRecv  func(*network.Node, *packet.Packet)
+}
+
+// NewCollector wires a collector into the network's observation hooks,
+// chaining any hooks already installed.
+func NewCollector(net *network.Network, source packet.NodeID, group packet.GroupID, receivers []int) *Collector {
+	c := &Collector{
+		net:       net,
+		source:    source,
+		group:     group,
+		receivers: make(map[packet.NodeID]bool, len(receivers)),
+		dataTxSet: make(map[packet.NodeID]bool),
+		firstFrom: make(map[packet.NodeID]packet.NodeID),
+		rxData:    make(map[packet.NodeID]bool),
+	}
+	for _, r := range receivers {
+		c.receivers[packet.NodeID(r)] = true
+	}
+	c.prevOnAir = net.OnTransmit
+	c.prevOnRecv = net.OnDeliver
+	net.OnTransmit = c.onTransmit
+	net.OnDeliver = c.onDeliver
+	return c
+}
+
+func (c *Collector) onTransmit(from *network.Node, p *packet.Packet) {
+	if c.prevOnAir != nil {
+		c.prevOnAir(from, p)
+	}
+	c.txByType[p.Type]++
+	c.bytesTx += uint64(p.Size)
+	switch p.Type {
+	case packet.TData, packet.TGeoData:
+		c.dataTxTotal++
+		if !c.dataTxSet[from.ID] {
+			c.dataTxSet[from.ID] = true
+			c.dataTx = append(c.dataTx, from.ID)
+		}
+	default:
+		c.controlTx++
+	}
+}
+
+func (c *Collector) onDeliver(to *network.Node, p *packet.Packet) {
+	if c.prevOnRecv != nil {
+		c.prevOnRecv(to, p)
+	}
+	c.bytesRx += uint64(p.Size)
+	switch p.Type {
+	case packet.TData:
+		// Tree-based data is one-to-all: any decode counts.
+	case packet.TGeoData:
+		// Geographic data is served only to destinations named in the
+		// header; an overheard branch frame does not deliver.
+		served := false
+		for _, d := range p.Geo.DestsFor(to.ID) {
+			if d == to.ID {
+				served = true
+				break
+			}
+		}
+		if !served {
+			return
+		}
+	default:
+		return
+	}
+	if !c.rxData[to.ID] {
+		c.rxData[to.ID] = true
+		c.firstFrom[to.ID] = p.From
+	}
+}
+
+// Result is the frozen outcome of one session.
+type Result struct {
+	// Transmissions is the normalized transmission overhead: the number
+	// of distinct nodes that put DATA on the air (source + every relaying
+	// forwarder) — the per-packet cost of the constructed tree.
+	Transmissions int
+	// DataTxTotal counts every DATA frame across the whole session; for a
+	// k-packet session it is ~k x Transmissions.
+	DataTxTotal uint64
+	// ExtraNodes counts DATA transmitters that are neither the source nor
+	// group members.
+	ExtraNodes int
+	// AvgRelayProfit averages, over non-source DATA transmitters, the
+	// number of group-member neighbors that received the data — each
+	// relay's RelayProfit in the delivered tree. A receiver adjacent to
+	// two relays counts for both, matching the magnitudes of Fig. 5(c).
+	AvgRelayProfit float64
+	// AvgFirstCopyProfit is the exclusive variant: receivers attributed
+	// only to the transmitter of their first received copy.
+	AvgFirstCopyProfit float64
+	// ReceiversReached counts receivers that got the data.
+	ReceiversReached int
+	// ReceiverCount is the multicast group size.
+	ReceiverCount int
+	// DeliveryRatio is ReceiversReached / ReceiverCount (1 for empty groups).
+	DeliveryRatio float64
+	// ControlTx counts HELLO + JoinQuery + JoinReply transmissions.
+	ControlTx uint64
+	// TxByType breaks transmissions down by frame type.
+	TxByType [packet.NumTypes]uint64
+	// BytesTx / BytesRx total the link-layer traffic volume.
+	BytesTx, BytesRx uint64
+	// Forwarders lists the DATA transmitters other than the source.
+	Forwarders []packet.NodeID
+	// EnergyTotalJ is the network-wide radio energy for the whole session
+	// (control + data), in Joules, under the energy model of §III.
+	EnergyTotalJ float64
+	// EnergyMaxNodeJ is the hottest single node's consumption in Joules —
+	// the first-node-dies lifetime proxy.
+	EnergyMaxNodeJ float64
+}
+
+// Snapshot computes the session metrics accumulated so far.
+func (c *Collector) Snapshot() Result {
+	res := Result{
+		ControlTx:     c.controlTx,
+		TxByType:      c.txByType,
+		BytesTx:       c.bytesTx,
+		BytesRx:       c.bytesRx,
+		ReceiverCount: len(c.receivers),
+	}
+	res.Transmissions = len(c.dataTx)
+	res.DataTxTotal = c.dataTxTotal
+
+	// Relay profit: receivers attributed to the transmitter of their
+	// first received copy.
+	profit := make(map[packet.NodeID]int)
+	for rcv := range c.receivers {
+		if rcv == c.source {
+			continue
+		}
+		if from, ok := c.firstFrom[rcv]; ok {
+			profit[from]++
+			res.ReceiversReached++
+		}
+	}
+	relays := 0
+	totalFirst := 0
+	totalNeighbor := 0
+	for _, tx := range c.dataTx {
+		if tx == c.source {
+			continue
+		}
+		relays++
+		totalFirst += profit[tx]
+		for _, nb := range c.net.Topo.Neighbors(int(tx)) {
+			id := packet.NodeID(nb)
+			if id != c.source && c.receivers[id] && c.rxData[id] {
+				totalNeighbor++
+			}
+		}
+		res.Forwarders = append(res.Forwarders, tx)
+		if !c.receivers[tx] {
+			res.ExtraNodes++
+		}
+	}
+	if relays > 0 {
+		res.AvgRelayProfit = float64(totalNeighbor) / float64(relays)
+		res.AvgFirstCopyProfit = float64(totalFirst) / float64(relays)
+	}
+	if res.ReceiverCount > 0 {
+		res.DeliveryRatio = float64(res.ReceiversReached) / float64(res.ReceiverCount)
+	} else {
+		res.DeliveryRatio = 1
+	}
+	return res
+}
+
+// TransmitterPositions returns the topology indices of the DATA
+// transmitters (source included), for snapshot rendering.
+func (c *Collector) TransmitterPositions() []int {
+	out := make([]int, 0, len(c.dataTx))
+	for _, id := range c.dataTx {
+		out = append(out, int(id))
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package neighbor implements the one-hop neighbor table of §IV.B: entries
+// learned from periodic HELLO beacons, annotated with multicast group
+// membership, last-seen timestamps with expiry, and the per-session
+// overhearing marks ("covered receiver", "known forwarder") that MTMRP's
+// RelayProfit and path handover scheme are built on.
+package neighbor
+
+import (
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+)
+
+// Entry is one neighbor record.
+type Entry struct {
+	ID       packet.NodeID
+	LastSeen sim.Time
+	Groups   map[packet.GroupID]bool
+	// Count is the number of HELLOs heard from this neighbor — a crude
+	// link-quality estimator: under fading, marginal links deliver only a
+	// fraction of beacons.
+	Count int
+
+	// covered marks sessions for which this neighbor is a covered
+	// multicast receiver (we overheard it originate a JoinReply, or it was
+	// covered by a forwarder we heard about).
+	covered map[packet.FloodKey]bool
+	// forwarder marks sessions for which this neighbor is a known
+	// forwarder (we overheard it relay a JoinReply).
+	forwarder map[packet.FloodKey]bool
+}
+
+// InGroup reports whether the neighbor announced membership of g.
+func (e *Entry) InGroup(g packet.GroupID) bool { return e.Groups[g] }
+
+// Covered reports the per-session covered mark.
+func (e *Entry) Covered(key packet.FloodKey) bool { return e.covered[key] }
+
+// Forwarder reports the per-session forwarder mark.
+func (e *Entry) Forwarder(key packet.FloodKey) bool { return e.forwarder[key] }
+
+// Table is a node's one-hop neighbor table.
+type Table struct {
+	entries map[packet.NodeID]*Entry
+	expiry  sim.Time // entries older than this are recycled; 0 = never
+}
+
+// NewTable returns an empty table. Entries not refreshed within expiry are
+// recycled by Expire (the paper's "overdue entries ... recycled after a
+// time"); expiry 0 disables aging.
+func NewTable(expiry sim.Time) *Table {
+	return &Table{entries: make(map[packet.NodeID]*Entry), expiry: expiry}
+}
+
+// SetExpiry changes the aging window; used when a protocol switches from
+// discovery (no aging) to steady-state maintenance.
+func (t *Table) SetExpiry(d sim.Time) { t.expiry = d }
+
+// Observe records a HELLO from id carrying the given group memberships,
+// inserting or refreshing the entry.
+func (t *Table) Observe(id packet.NodeID, now sim.Time, groups []packet.GroupID) {
+	e := t.entries[id]
+	if e == nil {
+		e = &Entry{
+			ID:        id,
+			Groups:    make(map[packet.GroupID]bool),
+			covered:   make(map[packet.FloodKey]bool),
+			forwarder: make(map[packet.FloodKey]bool),
+		}
+		t.entries[id] = e
+	}
+	e.LastSeen = now
+	e.Count++
+	// Membership is replaced wholesale: HELLO carries the full set.
+	for g := range e.Groups {
+		delete(e.Groups, g)
+	}
+	for _, g := range groups {
+		e.Groups[g] = true
+	}
+}
+
+// Touch refreshes the timestamp of a known neighbor without changing
+// membership, e.g. on overheard data traffic. Unknown ids are ignored.
+func (t *Table) Touch(id packet.NodeID, now sim.Time) {
+	if e := t.entries[id]; e != nil {
+		e.LastSeen = now
+	}
+}
+
+// Entry returns the record for id, or nil.
+func (t *Table) Entry(id packet.NodeID) *Entry { return t.entries[id] }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Expire recycles entries not seen within the expiry window.
+func (t *Table) Expire(now sim.Time) {
+	if t.expiry == 0 {
+		return
+	}
+	for id, e := range t.entries {
+		if now-e.LastSeen > t.expiry {
+			delete(t.entries, id)
+		}
+	}
+}
+
+// MarkCovered marks neighbor id as a covered receiver for the session.
+// Unknown neighbors get a skeleton entry (we clearly can hear them).
+func (t *Table) MarkCovered(id packet.NodeID, key packet.FloodKey, now sim.Time) {
+	t.ensure(id, now).covered[key] = true
+}
+
+// MarkForwarder marks neighbor id as a known forwarder for the session.
+func (t *Table) MarkForwarder(id packet.NodeID, key packet.FloodKey, now sim.Time) {
+	t.ensure(id, now).forwarder[key] = true
+}
+
+func (t *Table) ensure(id packet.NodeID, now sim.Time) *Entry {
+	e := t.entries[id]
+	if e == nil {
+		e = &Entry{
+			ID:        id,
+			Groups:    make(map[packet.GroupID]bool),
+			covered:   make(map[packet.FloodKey]bool),
+			forwarder: make(map[packet.FloodKey]bool),
+		}
+		t.entries[id] = e
+	}
+	e.LastSeen = now
+	return e
+}
+
+// Reliable reports whether id has been heard in at least minCount HELLOs.
+// minCount <= 0 accepts any sender, known or not.
+func (t *Table) Reliable(id packet.NodeID, minCount int) bool {
+	if minCount <= 0 {
+		return true
+	}
+	e := t.entries[id]
+	return e != nil && e.Count >= minCount
+}
+
+// HasForwarder reports whether any neighbor is a known forwarder for the
+// session — the test driving both halves of the path handover scheme.
+func (t *Table) HasForwarder(key packet.FloodKey) bool {
+	for _, e := range t.entries {
+		if e.forwarder[key] {
+			return true
+		}
+	}
+	return false
+}
+
+// RelayProfit returns the number of neighbors that are members of the
+// session's group and not yet covered (Definition 1). exclude removes the
+// querying node's own upstream/source id from consideration when needed
+// (pass packet.NoNode for none).
+func (t *Table) RelayProfit(key packet.FloodKey, exclude packet.NodeID) int {
+	n := 0
+	for id, e := range t.entries {
+		if id == exclude || id == key.Source {
+			continue
+		}
+		if e.Groups[key.Group] && !e.covered[key] {
+			n++
+		}
+	}
+	return n
+}
+
+// MemberCount returns the number of neighbors that are members of the
+// group, ignoring coverage — DODMRP's destination-driven signal.
+func (t *Table) MemberCount(g packet.GroupID, exclude packet.NodeID) int {
+	n := 0
+	for id, e := range t.entries {
+		if id == exclude {
+			continue
+		}
+		if e.Groups[g] {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns the neighbor ids currently in the table (unspecified order).
+func (t *Table) IDs() []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		out = append(out, id)
+	}
+	return out
+}

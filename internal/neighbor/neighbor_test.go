@@ -1,0 +1,201 @@
+package neighbor
+
+import (
+	"testing"
+
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+)
+
+var key = packet.FloodKey{Source: 0, Group: 1, Seq: 1}
+
+func TestObserveInsertAndRefresh(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(3, 100, []packet.GroupID{1})
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	e := tb.Entry(3)
+	if e == nil || !e.InGroup(1) || e.LastSeen != 100 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Refresh with changed membership: replaced wholesale.
+	tb.Observe(3, 200, []packet.GroupID{2})
+	e = tb.Entry(3)
+	if e.InGroup(1) || !e.InGroup(2) || e.LastSeen != 200 {
+		t.Errorf("refresh failed: %+v", e)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	tb := NewTable(50)
+	tb.Observe(1, 100, nil)
+	tb.Observe(2, 140, nil)
+	tb.Expire(160)
+	if tb.Entry(1) != nil {
+		t.Error("stale entry should be recycled")
+	}
+	if tb.Entry(2) == nil {
+		t.Error("fresh entry should survive")
+	}
+}
+
+func TestExpireDisabled(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 0, nil)
+	tb.Expire(sim.Time(1) * sim.Second)
+	if tb.Entry(1) == nil {
+		t.Error("expiry 0 must never recycle")
+	}
+}
+
+func TestTouch(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 10, nil)
+	tb.Touch(1, 99)
+	if tb.Entry(1).LastSeen != 99 {
+		t.Error("Touch did not refresh")
+	}
+	tb.Touch(2, 99) // unknown: ignored
+	if tb.Entry(2) != nil {
+		t.Error("Touch must not insert")
+	}
+}
+
+func TestRelayProfitCountsUncoveredMembers(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 0, []packet.GroupID{1})
+	tb.Observe(2, 0, []packet.GroupID{1})
+	tb.Observe(3, 0, []packet.GroupID{2}) // other group
+	tb.Observe(4, 0, nil)                 // non-member
+	if got := tb.RelayProfit(key, packet.NoNode); got != 2 {
+		t.Fatalf("RelayProfit = %d, want 2", got)
+	}
+	tb.MarkCovered(1, key, 5)
+	if got := tb.RelayProfit(key, packet.NoNode); got != 1 {
+		t.Fatalf("after covering one: RelayProfit = %d, want 1", got)
+	}
+	// Coverage is per session: another session still counts both.
+	key2 := packet.FloodKey{Source: 0, Group: 1, Seq: 2}
+	if got := tb.RelayProfit(key2, packet.NoNode); got != 2 {
+		t.Fatalf("other session RelayProfit = %d, want 2", got)
+	}
+}
+
+func TestRelayProfitExcludesSourceAndExcluded(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(0, 0, []packet.GroupID{1}) // the session source
+	tb.Observe(5, 0, []packet.GroupID{1})
+	if got := tb.RelayProfit(key, packet.NoNode); got != 1 {
+		t.Errorf("source must not count: %d", got)
+	}
+	if got := tb.RelayProfit(key, 5); got != 0 {
+		t.Errorf("excluded id must not count: %d", got)
+	}
+}
+
+func TestMemberCount(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 0, []packet.GroupID{1})
+	tb.Observe(2, 0, []packet.GroupID{1})
+	tb.MarkCovered(1, key, 0) // coverage is irrelevant to MemberCount
+	if got := tb.MemberCount(1, packet.NoNode); got != 2 {
+		t.Errorf("MemberCount = %d, want 2", got)
+	}
+	if got := tb.MemberCount(1, 2); got != 1 {
+		t.Errorf("MemberCount excluding 2 = %d, want 1", got)
+	}
+}
+
+func TestForwarderMarks(t *testing.T) {
+	tb := NewTable(0)
+	if tb.HasForwarder(key) {
+		t.Error("empty table has no forwarders")
+	}
+	tb.MarkForwarder(7, key, 10)
+	if !tb.HasForwarder(key) {
+		t.Error("forwarder mark not visible")
+	}
+	if !tb.Entry(7).Forwarder(key) {
+		t.Error("entry flag not set")
+	}
+	// Session-scoped: a different session sees nothing.
+	other := packet.FloodKey{Source: 0, Group: 1, Seq: 9}
+	if tb.HasForwarder(other) {
+		t.Error("forwarder mark leaked across sessions")
+	}
+}
+
+func TestMarksCreateSkeletonEntries(t *testing.T) {
+	tb := NewTable(0)
+	tb.MarkCovered(9, key, 42)
+	e := tb.Entry(9)
+	if e == nil || !e.Covered(key) || e.LastSeen != 42 {
+		t.Fatalf("skeleton entry = %+v", e)
+	}
+	// A skeleton has no memberships until a HELLO arrives.
+	if e.InGroup(1) {
+		t.Error("skeleton should not claim membership")
+	}
+}
+
+func TestHelloCountAndReliable(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 10, nil)
+	if !tb.Reliable(1, 1) {
+		t.Error("one hello should satisfy minCount 1")
+	}
+	if tb.Reliable(1, 2) {
+		t.Error("one hello should not satisfy minCount 2")
+	}
+	tb.Observe(1, 20, nil)
+	if !tb.Reliable(1, 2) {
+		t.Error("two hellos should satisfy minCount 2")
+	}
+	if tb.Entry(1).Count != 2 {
+		t.Errorf("Count = %d", tb.Entry(1).Count)
+	}
+	// Unknown senders are never reliable (minCount > 0)...
+	if tb.Reliable(99, 1) {
+		t.Error("unknown sender reliable")
+	}
+	// ...but minCount <= 0 disables the gate entirely.
+	if !tb.Reliable(99, 0) {
+		t.Error("gate disabled should accept anyone")
+	}
+}
+
+func TestMarksDoNotInflateCount(t *testing.T) {
+	tb := NewTable(0)
+	tb.MarkForwarder(5, key, 1)
+	if tb.Reliable(5, 1) {
+		t.Error("overhearing marks must not count as beacons")
+	}
+}
+
+func TestSetExpiry(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 0, nil)
+	tb.SetExpiry(10)
+	tb.Expire(100)
+	if tb.Entry(1) != nil {
+		t.Error("SetExpiry not applied")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	tb := NewTable(0)
+	tb.Observe(1, 0, nil)
+	tb.Observe(2, 0, nil)
+	ids := tb.IDs()
+	if len(ids) != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	seen := map[packet.NodeID]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("IDs = %v", ids)
+	}
+}

@@ -1,0 +1,246 @@
+// Package network wires topology, channel, MAC and routing protocol into a
+// runnable simulated sensor network, and exposes the observation hooks the
+// metrics layer consumes.
+package network
+
+import (
+	"fmt"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/mac"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+// MACKind selects the MAC layer for a run.
+type MACKind uint8
+
+// Available MAC layers.
+const (
+	MACCSMA  MACKind = iota // 802.11-style contention MAC (paper's setting)
+	MACIdeal                // contention-free, for deterministic tests
+)
+
+// Config parameterises a network build.
+type Config struct {
+	Radio             radio.Params
+	MAC               MACKind
+	CSMA              mac.CSMAConfig
+	DisableCollisions bool
+	// ShadowingSigmaDB enables per-frame log-normal fading (0 = the
+	// paper's deterministic disc).
+	ShadowingSigmaDB float64
+	Seed             uint64
+}
+
+// DefaultConfig is the paper's PHY/MAC: two-ray ground sized to a 40 m
+// range, carrier sensing at 2.2x, 802.11 CSMA.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Radio: radio.MustDefault80211Params(40, 2.2),
+		MAC:   MACCSMA,
+		CSMA:  mac.DefaultCSMAConfig(),
+		Seed:  seed,
+	}
+}
+
+// Protocol is the routing layer contract. Attach is called exactly once
+// while the network is built; Start is called when the simulation begins.
+type Protocol interface {
+	Attach(n *Node)
+	Start()
+	Receive(p *packet.Packet)
+}
+
+// Node is one sensor node: identity, position, group membership, MAC and
+// protocol instance.
+type Node struct {
+	ID     packet.NodeID
+	Pos    int // index into the topology (== int(ID))
+	net    *Network
+	mac    mac.MAC
+	proto  Protocol
+	groups map[packet.GroupID]bool
+	down   bool
+	Rand   *rng.RNG // per-node substream for protocol jitter
+}
+
+// Network owns the simulation.
+type Network struct {
+	Sim   *sim.Simulator
+	Topo  *topology.Topology
+	Chan  *channel.Channel
+	Nodes []*Node
+	Rand  *rng.RNG
+
+	// OnTransmit observes every frame put on the air (after MAC).
+	OnTransmit func(from *Node, p *packet.Packet)
+	// OnDeliver observes every frame successfully received, before the
+	// protocol handles it.
+	OnDeliver func(to *Node, p *packet.Packet)
+}
+
+// New builds a network over the topology. Protocols are attached
+// separately with SetProtocol so one network builder serves every routing
+// scheme.
+func New(topo *topology.Topology, cfg Config) *Network {
+	s := sim.New()
+	root := rng.New(cfg.Seed)
+	ch := channel.New(s, topo.Positions, cfg.Radio, channel.Config{
+		DisableCollisions: cfg.DisableCollisions,
+		ShadowingSigmaDB:  cfg.ShadowingSigmaDB,
+		Rand:              root.Derive("channel"),
+	})
+	net := &Network{
+		Sim:   s,
+		Topo:  topo,
+		Chan:  ch,
+		Nodes: make([]*Node, topo.N()),
+		Rand:  root.Derive("network"),
+	}
+	ch.OnAir = func(from int, p *packet.Packet) {
+		n := net.Nodes[from]
+		if net.OnTransmit != nil {
+			net.OnTransmit(n, p)
+		}
+	}
+	ch.OnDeliver = func(to int, p *packet.Packet) {
+		n := net.Nodes[to]
+		if n.down {
+			return
+		}
+		if net.OnDeliver != nil {
+			net.OnDeliver(n, p)
+		}
+	}
+	for i := 0; i < topo.N(); i++ {
+		n := &Node{
+			ID:     packet.NodeID(i),
+			Pos:    i,
+			net:    net,
+			groups: make(map[packet.GroupID]bool),
+			Rand:   root.Derive(fmt.Sprintf("node-%d", i)),
+		}
+		switch cfg.MAC {
+		case MACCSMA:
+			n.mac = mac.NewCSMA(s, ch, i, cfg.CSMA, n.Rand.Derive("mac"))
+		case MACIdeal:
+			n.mac = mac.NewIdeal(s, ch, i)
+		default:
+			panic(fmt.Sprintf("network: unknown MAC kind %d", cfg.MAC))
+		}
+		net.Nodes[i] = n
+		i := i
+		n.mac.SetUpper(func(p *packet.Packet) { net.deliver(i, p) })
+	}
+	return net
+}
+
+func (net *Network) deliver(i int, p *packet.Packet) {
+	n := net.Nodes[i]
+	if n.down || n.proto == nil {
+		return
+	}
+	n.proto.Receive(p)
+}
+
+// SetProtocol installs the routing protocol on node i.
+func (net *Network) SetProtocol(i int, p Protocol) {
+	n := net.Nodes[i]
+	n.proto = p
+	p.Attach(n)
+}
+
+// Start invokes Start on every protocol instance. Call after all
+// SetProtocol calls and before running the simulator.
+func (net *Network) Start() {
+	for _, n := range net.Nodes {
+		if n.proto != nil && !n.down {
+			n.proto.Start()
+		}
+	}
+}
+
+// Run drives the simulation until the event queue drains.
+func (net *Network) Run() { net.Sim.Run() }
+
+// RunUntil drives the simulation up to virtual time t.
+func (net *Network) RunUntil(t sim.Time) { net.Sim.RunUntil(t) }
+
+// --- Node services used by protocols ---
+
+// Net returns the owning network.
+func (n *Node) Net() *Network { return n.net }
+
+// Proto returns the node's protocol instance (nil before SetProtocol).
+func (n *Node) Proto() Protocol { return n.proto }
+
+// Send broadcasts a frame via the MAC. Downed nodes silently drop.
+func (n *Node) Send(p *packet.Packet) {
+	if n.down {
+		return
+	}
+	p.From = n.ID
+	n.mac.Send(p)
+}
+
+// After schedules fn on the simulator, skipping execution if the node has
+// failed by then.
+func (n *Node) After(d sim.Time, fn func()) *sim.Event {
+	return n.net.Sim.After(d, func() {
+		if !n.down {
+			fn()
+		}
+	})
+}
+
+// Now returns the current virtual time.
+func (n *Node) Now() sim.Time { return n.net.Sim.Now() }
+
+// JoinGroup adds the node to a multicast group (a "multicast receiver").
+func (n *Node) JoinGroup(g packet.GroupID) { n.groups[g] = true }
+
+// LeaveGroup removes the node from a multicast group.
+func (n *Node) LeaveGroup(g packet.GroupID) { delete(n.groups, g) }
+
+// InGroup reports group membership.
+func (n *Node) InGroup(g packet.GroupID) bool { return n.groups[g] }
+
+// Groups returns the node's memberships as a sorted-order-free slice.
+func (n *Node) Groups() []packet.GroupID {
+	out := make([]packet.GroupID, 0, len(n.groups))
+	for g := range n.groups {
+		out = append(out, g)
+	}
+	// Deterministic order for on-air encoding.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Fail takes the node down: it stops sending, receiving and timing out.
+// Used by the failure-injection tests and the route-repair extension.
+func (n *Node) Fail() { n.down = true }
+
+// Recover brings a failed node back (fresh protocol state is the caller's
+// concern).
+func (n *Node) Recover() { n.down = false }
+
+// Down reports whether the node has failed.
+func (n *Node) Down() bool { return n.down }
+
+// NeighborIDs returns the topology neighbors of this node.
+func (n *Node) NeighborIDs() []packet.NodeID {
+	ns := n.net.Topo.Neighbors(n.Pos)
+	out := make([]packet.NodeID, len(ns))
+	for i, v := range ns {
+		out[i] = packet.NodeID(v)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. The simulator passes *Packet values by pointer, but a
+// deployable implementation — and the trace tooling — needs a concrete
+// on-air encoding. The format is little-endian, versioned, and
+// deliberately close to the sizes assumed by the Size constants:
+//
+//	common header (8 bytes):
+//	  [0]    version (wireVersion)
+//	  [1]    type
+//	  [2:6]  from (int32)
+//	  [6:8]  payload length (uint16)
+//	payload: type-specific fixed layout (below), then variable parts.
+//
+// Marshal never fails on valid packets; Unmarshal validates everything it
+// reads and returns ErrTruncated/ErrBadPacket rather than panicking on
+// hostile input.
+
+// wireVersion identifies the encoding; bump on layout changes.
+const wireVersion = 1
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated = errors.New("packet: truncated frame")
+	ErrBadPacket = errors.New("packet: malformed frame")
+)
+
+const headerLen = 8
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	var payload []byte
+	switch p.Type {
+	case THello:
+		if p.Hello == nil {
+			return nil, fmt.Errorf("%w: HELLO without payload", ErrBadPacket)
+		}
+		payload = make([]byte, 2+4*len(p.Hello.Groups))
+		binary.LittleEndian.PutUint16(payload[0:2], uint16(len(p.Hello.Groups)))
+		for i, g := range p.Hello.Groups {
+			binary.LittleEndian.PutUint32(payload[2+4*i:], uint32(g))
+		}
+	case TJoinQuery:
+		if p.JoinQuery == nil {
+			return nil, fmt.Errorf("%w: JQ without payload", ErrBadPacket)
+		}
+		q := p.JoinQuery
+		payload = make([]byte, 20)
+		binary.LittleEndian.PutUint32(payload[0:], uint32(q.SourceID))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(q.GroupID))
+		binary.LittleEndian.PutUint32(payload[8:], q.SequenceNo)
+		binary.LittleEndian.PutUint32(payload[12:], uint32(q.HopCount))
+		binary.LittleEndian.PutUint32(payload[16:], uint32(q.PathProfit))
+	case TJoinReply:
+		if p.JoinReply == nil {
+			return nil, fmt.Errorf("%w: JR without payload", ErrBadPacket)
+		}
+		r := p.JoinReply
+		payload = make([]byte, 24)
+		binary.LittleEndian.PutUint32(payload[0:], uint32(r.NodeID))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(r.NexthopID))
+		binary.LittleEndian.PutUint32(payload[8:], uint32(r.ReceiverID))
+		binary.LittleEndian.PutUint32(payload[12:], uint32(r.SourceID))
+		binary.LittleEndian.PutUint32(payload[16:], uint32(r.GroupID))
+		binary.LittleEndian.PutUint32(payload[20:], r.SequenceNo)
+	case TData:
+		if p.Data == nil {
+			return nil, fmt.Errorf("%w: DATA without payload", ErrBadPacket)
+		}
+		d := p.Data
+		payload = make([]byte, 20)
+		binary.LittleEndian.PutUint32(payload[0:], uint32(d.SourceID))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(d.GroupID))
+		binary.LittleEndian.PutUint32(payload[8:], d.SequenceNo)
+		binary.LittleEndian.PutUint32(payload[12:], d.DataSeq)
+		binary.LittleEndian.PutUint32(payload[16:], uint32(d.PayloadLen))
+	case TGeoData:
+		if p.Geo == nil {
+			return nil, fmt.Errorf("%w: GEO without payload", ErrBadPacket)
+		}
+		g := p.Geo
+		n := 26
+		for _, a := range g.Assign {
+			n += 6 + 4*len(a.Dests)
+		}
+		payload = make([]byte, n)
+		binary.LittleEndian.PutUint32(payload[0:], uint32(g.SourceID))
+		binary.LittleEndian.PutUint32(payload[4:], uint32(g.GroupID))
+		binary.LittleEndian.PutUint32(payload[8:], g.SequenceNo)
+		binary.LittleEndian.PutUint32(payload[12:], g.DataSeq)
+		binary.LittleEndian.PutUint32(payload[16:], uint32(g.PayloadLen))
+		binary.LittleEndian.PutUint32(payload[20:], uint32(g.TTL))
+		binary.LittleEndian.PutUint16(payload[24:], uint16(len(g.Assign)))
+		off := 26
+		for _, a := range g.Assign {
+			binary.LittleEndian.PutUint32(payload[off:], uint32(a.Next))
+			binary.LittleEndian.PutUint16(payload[off+4:], uint16(len(a.Dests)))
+			off += 6
+			for _, d := range a.Dests {
+				binary.LittleEndian.PutUint32(payload[off:], uint32(d))
+				off += 4
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadPacket, p.Type)
+	}
+	if len(payload) > 0xffff {
+		return nil, fmt.Errorf("%w: payload too large", ErrBadPacket)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	buf[0] = wireVersion
+	buf[1] = byte(p.Type)
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(p.From))
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(payload)))
+	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Packet) UnmarshalBinary(buf []byte) error {
+	if len(buf) < headerLen {
+		return ErrTruncated
+	}
+	if buf[0] != wireVersion {
+		return fmt.Errorf("%w: version %d", ErrBadPacket, buf[0])
+	}
+	typ := Type(buf[1])
+	from := NodeID(int32(binary.LittleEndian.Uint32(buf[2:6])))
+	plen := int(binary.LittleEndian.Uint16(buf[6:8]))
+	if len(buf) < headerLen+plen {
+		return ErrTruncated
+	}
+	payload := buf[headerLen : headerLen+plen]
+
+	*p = Packet{Type: typ, From: from}
+	switch typ {
+	case THello:
+		if plen < 2 {
+			return ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint16(payload[0:2]))
+		if plen != 2+4*n {
+			return fmt.Errorf("%w: HELLO group count %d vs payload %d", ErrBadPacket, n, plen)
+		}
+		groups := make([]GroupID, n)
+		for i := range groups {
+			groups[i] = GroupID(int32(binary.LittleEndian.Uint32(payload[2+4*i:])))
+		}
+		p.Hello = &Hello{Groups: groups}
+		p.Size = HelloSize + 4*n
+	case TJoinQuery:
+		if plen != 20 {
+			return fmt.Errorf("%w: JQ payload %d", ErrBadPacket, plen)
+		}
+		p.JoinQuery = &JoinQuery{
+			SourceID:   NodeID(int32(binary.LittleEndian.Uint32(payload[0:]))),
+			GroupID:    GroupID(int32(binary.LittleEndian.Uint32(payload[4:]))),
+			SequenceNo: binary.LittleEndian.Uint32(payload[8:]),
+			HopCount:   int32(binary.LittleEndian.Uint32(payload[12:])),
+			PathProfit: int32(binary.LittleEndian.Uint32(payload[16:])),
+		}
+		p.Size = JoinQuerySize
+	case TJoinReply:
+		if plen != 24 {
+			return fmt.Errorf("%w: JR payload %d", ErrBadPacket, plen)
+		}
+		p.JoinReply = &JoinReply{
+			NodeID:     NodeID(int32(binary.LittleEndian.Uint32(payload[0:]))),
+			NexthopID:  NodeID(int32(binary.LittleEndian.Uint32(payload[4:]))),
+			ReceiverID: NodeID(int32(binary.LittleEndian.Uint32(payload[8:]))),
+			SourceID:   NodeID(int32(binary.LittleEndian.Uint32(payload[12:]))),
+			GroupID:    GroupID(int32(binary.LittleEndian.Uint32(payload[16:]))),
+			SequenceNo: binary.LittleEndian.Uint32(payload[20:]),
+		}
+		p.Size = JoinReplySize
+	case TData:
+		if plen != 20 {
+			return fmt.Errorf("%w: DATA payload %d", ErrBadPacket, plen)
+		}
+		d := &Data{
+			SourceID:   NodeID(int32(binary.LittleEndian.Uint32(payload[0:]))),
+			GroupID:    GroupID(int32(binary.LittleEndian.Uint32(payload[4:]))),
+			SequenceNo: binary.LittleEndian.Uint32(payload[8:]),
+			DataSeq:    binary.LittleEndian.Uint32(payload[12:]),
+			PayloadLen: int(int32(binary.LittleEndian.Uint32(payload[16:]))),
+		}
+		if d.PayloadLen < 0 {
+			return fmt.Errorf("%w: negative payload length", ErrBadPacket)
+		}
+		p.Data = d
+		p.Size = DataHeader + d.PayloadLen
+	case TGeoData:
+		if plen < 26 {
+			return ErrTruncated
+		}
+		g := &GeoData{
+			SourceID:   NodeID(int32(binary.LittleEndian.Uint32(payload[0:]))),
+			GroupID:    GroupID(int32(binary.LittleEndian.Uint32(payload[4:]))),
+			SequenceNo: binary.LittleEndian.Uint32(payload[8:]),
+			DataSeq:    binary.LittleEndian.Uint32(payload[12:]),
+			PayloadLen: int(int32(binary.LittleEndian.Uint32(payload[16:]))),
+			TTL:        int32(binary.LittleEndian.Uint32(payload[20:])),
+		}
+		if g.PayloadLen < 0 {
+			return fmt.Errorf("%w: negative payload length", ErrBadPacket)
+		}
+		nAssign := int(binary.LittleEndian.Uint16(payload[24:]))
+		off := 26
+		for i := 0; i < nAssign; i++ {
+			if off+6 > plen {
+				return ErrTruncated
+			}
+			a := GeoAssign{Next: NodeID(int32(binary.LittleEndian.Uint32(payload[off:])))}
+			nd := int(binary.LittleEndian.Uint16(payload[off+4:]))
+			off += 6
+			if off+4*nd > plen {
+				return ErrTruncated
+			}
+			for j := 0; j < nd; j++ {
+				a.Dests = append(a.Dests, NodeID(int32(binary.LittleEndian.Uint32(payload[off:]))))
+				off += 4
+			}
+			g.Assign = append(g.Assign, a)
+		}
+		if off != plen {
+			return fmt.Errorf("%w: GEO trailing bytes", ErrBadPacket)
+		}
+		p.Geo = g
+		size := DataHeader + g.PayloadLen
+		for _, a := range g.Assign {
+			size += 8 + 4*len(a.Dests)
+		}
+		p.Size = size
+	default:
+		return fmt.Errorf("%w: type %d", ErrBadPacket, typ)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Packet
+	if err := out.UnmarshalBinary(buf); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return &out
+}
+
+func TestRoundTripHello(t *testing.T) {
+	p := NewHello(7, []GroupID{1, 2, 300})
+	out := roundTrip(t, p)
+	if out.Type != THello || out.From != 7 {
+		t.Errorf("header: %+v", out)
+	}
+	if len(out.Hello.Groups) != 3 || out.Hello.Groups[2] != 300 {
+		t.Errorf("groups: %v", out.Hello.Groups)
+	}
+	if out.Size != p.Size {
+		t.Errorf("size %d != %d", out.Size, p.Size)
+	}
+}
+
+func TestRoundTripHelloEmpty(t *testing.T) {
+	out := roundTrip(t, NewHello(0, nil))
+	if len(out.Hello.Groups) != 0 {
+		t.Errorf("groups: %v", out.Hello.Groups)
+	}
+}
+
+func TestRoundTripJoinQuery(t *testing.T) {
+	p := NewJoinQuery(3, JoinQuery{
+		SourceID: 1, GroupID: 2, SequenceNo: 9, HopCount: 4, PathProfit: -1,
+	})
+	out := roundTrip(t, p)
+	if *out.JoinQuery != *p.JoinQuery {
+		t.Errorf("payload: %+v != %+v", out.JoinQuery, p.JoinQuery)
+	}
+}
+
+func TestRoundTripJoinReply(t *testing.T) {
+	p := NewJoinReply(5, JoinReply{
+		NexthopID: 2, ReceiverID: 9, SourceID: 0, GroupID: 1, SequenceNo: 3,
+	})
+	out := roundTrip(t, p)
+	if *out.JoinReply != *p.JoinReply {
+		t.Errorf("payload: %+v != %+v", out.JoinReply, p.JoinReply)
+	}
+}
+
+func TestRoundTripData(t *testing.T) {
+	p := NewData(2, Data{SourceID: 0, GroupID: 1, SequenceNo: 7, DataSeq: 3, PayloadLen: 128})
+	out := roundTrip(t, p)
+	if *out.Data != *p.Data {
+		t.Errorf("payload: %+v != %+v", out.Data, p.Data)
+	}
+	if out.Size != DataHeader+128 {
+		t.Errorf("size: %d", out.Size)
+	}
+}
+
+func TestRoundTripGeoData(t *testing.T) {
+	p := NewGeoData(3, GeoData{
+		SourceID: 0, GroupID: 1, SequenceNo: 2, DataSeq: 7, PayloadLen: 32, TTL: 9,
+		Assign: []GeoAssign{
+			{Next: 4, Dests: []NodeID{8, 9}},
+			{Next: 5, Dests: []NodeID{10}},
+		},
+	})
+	out := roundTrip(t, p)
+	g := out.Geo
+	if g.TTL != 9 || len(g.Assign) != 2 {
+		t.Fatalf("geo payload: %+v", g)
+	}
+	if len(g.DestsFor(4)) != 2 || g.DestsFor(4)[1] != 9 {
+		t.Errorf("assignment lost: %+v", g.Assign)
+	}
+	if g.DestsFor(99) != nil {
+		t.Error("phantom assignment")
+	}
+	if out.Size != p.Size {
+		t.Errorf("size %d != %d", out.Size, p.Size)
+	}
+}
+
+func TestRoundTripGeoDataEmptyAssign(t *testing.T) {
+	out := roundTrip(t, NewGeoData(1, GeoData{SourceID: 0, TTL: 1}))
+	if len(out.Geo.Assign) != 0 {
+		t.Errorf("assign = %v", out.Geo.Assign)
+	}
+}
+
+// Property: every generatable packet round-trips bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kind uint8, a, b, c, d int32, s1, s2 uint32, plen uint16, ng uint8) bool {
+		var p *Packet
+		switch kind % 5 {
+		case 0:
+			groups := make([]GroupID, ng%16)
+			for i := range groups {
+				groups[i] = GroupID(a) + GroupID(i)
+			}
+			p = NewHello(NodeID(b), groups)
+		case 1:
+			p = NewJoinQuery(NodeID(a), JoinQuery{
+				SourceID: NodeID(b), GroupID: GroupID(c), SequenceNo: s1,
+				HopCount: d, PathProfit: int32(s2 % 1000),
+			})
+		case 2:
+			p = NewJoinReply(NodeID(a), JoinReply{
+				NexthopID: NodeID(b), ReceiverID: NodeID(c),
+				SourceID: NodeID(d), GroupID: GroupID(a), SequenceNo: s1,
+			})
+		case 3:
+			p = NewData(NodeID(a), Data{
+				SourceID: NodeID(b), GroupID: GroupID(c),
+				SequenceNo: s1, DataSeq: s2, PayloadLen: int(plen),
+			})
+		default:
+			assign := make([]GeoAssign, ng%4)
+			for i := range assign {
+				assign[i] = GeoAssign{
+					Next:  NodeID(d) + NodeID(i),
+					Dests: []NodeID{NodeID(a), NodeID(b) + NodeID(i)},
+				}
+			}
+			p = NewGeoData(NodeID(a), GeoData{
+				SourceID: NodeID(b), GroupID: GroupID(c),
+				SequenceNo: s1, DataSeq: s2, PayloadLen: int(plen % 512),
+				TTL: d % 128, Assign: assign,
+			})
+		}
+		buf, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Packet
+		if err := out.UnmarshalBinary(buf); err != nil {
+			return false
+		}
+		buf2, err := out.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(buf, buf2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	p := NewJoinQuery(1, JoinQuery{SourceID: 0, SequenceNo: 1})
+	buf, _ := p.MarshalBinary()
+	for cut := 0; cut < len(buf); cut++ {
+		var out Packet
+		if err := out.UnmarshalBinary(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnmarshalBadVersion(t *testing.T) {
+	buf, _ := NewHello(1, nil).MarshalBinary()
+	buf[0] = 99
+	var out Packet
+	if err := out.UnmarshalBinary(buf); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("want ErrBadPacket, got %v", err)
+	}
+}
+
+func TestUnmarshalBadType(t *testing.T) {
+	buf, _ := NewHello(1, nil).MarshalBinary()
+	buf[1] = 42
+	var out Packet
+	if err := out.UnmarshalBinary(buf); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("want ErrBadPacket, got %v", err)
+	}
+}
+
+func TestUnmarshalInconsistentHelloCount(t *testing.T) {
+	buf, _ := NewHello(1, []GroupID{1, 2}).MarshalBinary()
+	// Corrupt the group count: claims 3, payload has 2.
+	buf[headerLen] = 3
+	var out Packet
+	if err := out.UnmarshalBinary(buf); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("want ErrBadPacket, got %v", err)
+	}
+}
+
+func TestUnmarshalWrongPayloadSize(t *testing.T) {
+	p := NewJoinQuery(1, JoinQuery{})
+	buf, _ := p.MarshalBinary()
+	// Claim the payload is shorter and re-cut the frame accordingly.
+	buf[6] = 19
+	var out Packet
+	if err := out.UnmarshalBinary(buf[:headerLen+19]); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("want ErrBadPacket, got %v", err)
+	}
+}
+
+func TestMarshalNilPayload(t *testing.T) {
+	p := &Packet{Type: TData}
+	if _, err := p.MarshalBinary(); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("want ErrBadPacket, got %v", err)
+	}
+}
+
+// Fuzz-like property: random byte soup never panics Unmarshal.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		var out Packet
+		_ = out.UnmarshalBinary(buf) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

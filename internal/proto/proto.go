@@ -1,0 +1,494 @@
+// Package proto implements the on-demand multicast machinery shared by
+// every distributed protocol in this repository (ODMRP, DODMRP, MTMRP and
+// its no-PHS ablation): HELLO beaconing into neighbor tables, JoinQuery
+// flooding with duplicate suppression and reverse-path learning, JoinReply
+// propagation that sets forwarding-group flags, and tree-based data
+// forwarding.
+//
+// Protocol-specific behaviour — the paper's biased backoff (Eqs. 2–4), the
+// destination-driven bias of DODMRP, and MTMRP's path handover scheme — is
+// injected through the Hooks struct, so each protocol package contains
+// exactly its distinguishing policy and nothing else. The paper itself
+// notes MTMRP "can serve as a general architectural extension to those
+// on-demand routing protocols where the route discovery process is
+// performed"; Hooks is that extension surface.
+package proto
+
+import (
+	"fmt"
+
+	"mtmrp/internal/neighbor"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// Config carries the timing shared by all protocols.
+type Config struct {
+	HelloInterval  sim.Time // beacon period during initialization
+	HelloRounds    int      // beacons per node (finite so runs quiesce)
+	HelloJitter    sim.Time // uniform jitter on each beacon
+	NeighborExpiry sim.Time // neighbor-table aging; 0 disables
+	ReplyJitter    sim.Time // delay before a receiver originates a JoinReply
+	RelayJitter    sim.Time // delay before a forwarder relays a JoinReply
+	DataJitter     sim.Time // delay before a forwarder relays DATA
+
+	// MinHelloCount gates route learning on link quality: a JoinQuery is
+	// accepted for reverse-path learning only from senders heard in at
+	// least this many HELLOs (a bidirectional-link check). Under fading,
+	// an occasional lucky decode from a marginal link would otherwise
+	// become the upstream — and the JoinReply back over it would be lost.
+	// <= 0 disables the gate.
+	MinHelloCount int
+}
+
+// DefaultConfig returns the timings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval: 500 * sim.Millisecond,
+		HelloRounds:   3,
+		HelloJitter:   100 * sim.Millisecond,
+		ReplyJitter:   4 * sim.Millisecond,
+		RelayJitter:   2 * sim.Millisecond,
+		DataJitter:    2 * sim.Millisecond,
+		MinHelloCount: 2,
+	}
+}
+
+// Hooks is the policy surface that differentiates protocols.
+type Hooks struct {
+	// QueryDelay returns the routing-layer backoff before rebroadcasting a
+	// received JoinQuery (the biased backoff scheme lives here).
+	QueryDelay func(b *Base, q packet.JoinQuery, from packet.NodeID) sim.Time
+	// OutPathProfit computes the PathProfit field of the rebroadcast
+	// JoinQuery. Nil leaves the field unchanged (non-MTMRP protocols).
+	OutPathProfit func(b *Base, q packet.JoinQuery) int32
+	// SuppressReply reports whether a covered receiver should stay silent
+	// instead of originating a JoinReply (MTMRP's PHS, Algorithm 1 l.4-5).
+	SuppressReply func(b *Base, key packet.FloodKey) bool
+	// GraftOnReply reports whether a JoinReply next hop should mark itself
+	// forwarder and drop instead of relaying (PHS, Algorithm 2 l.4-6).
+	GraftOnReply func(b *Base, key packet.FloodKey) bool
+	// Overhear enables covered-receiver / known-forwarder marking from
+	// overheard JoinReplys (MTMRP; Algorithm 2 l.19-23).
+	Overhear bool
+}
+
+// Route is the reverse-path state learned from the first JoinQuery copy.
+type Route struct {
+	Upstream   packet.NodeID
+	HopCount   int32
+	PathProfit int32
+}
+
+// jrKey deduplicates JoinReply relays per (session, originating receiver).
+type jrKey struct {
+	session  packet.FloodKey
+	receiver packet.NodeID
+}
+
+// Base holds per-node protocol state and implements network.Protocol.
+// Concrete protocols wrap it with their Hooks.
+type Base struct {
+	node  *network.Node
+	cfg   Config
+	hooks Hooks
+	name  string
+	rnd   *rng.RNG
+
+	// NT is the one-hop neighbor table (exported for policy hooks).
+	NT *neighbor.Table
+
+	routes      map[packet.FloodKey]*Route
+	fg          map[packet.FloodKey]bool // forwarding-group flag per session
+	coveredSelf map[packet.FloodKey]bool // this receiver is covered
+	repliedJQ   map[packet.FloodKey]bool // JoinQuery already scheduled for rebroadcast
+	seenJR      map[jrKey]bool
+	seenData    map[packet.DataKey]bool
+	gotData     map[packet.FloodKey]int // data packets received per session
+	dataSeq     map[packet.FloodKey]uint32
+
+	// repliesHeard, at the source, counts distinct receivers whose
+	// JoinReply made it all the way back.
+	repliesHeard map[packet.FloodKey]map[packet.NodeID]bool
+
+	// nbrHop records each neighbor's hop distance to the source, learned
+	// from its JoinQuery rebroadcast (every copy carries the sender's hop
+	// count). The path handover scheme uses it to anchor only onto
+	// forwarders strictly closer to the source — without that condition,
+	// two nodes can hand their paths over to each other and strand every
+	// receiver below them (Algorithm 2 as written admits such cycles).
+	nbrHop map[packet.FloodKey]map[packet.NodeID]int32
+
+	nextSeq uint32
+
+	// Route-maintenance extension state (repair.go).
+	maint       *MaintenanceConfig
+	onRouteLoss func(packet.FloodKey)
+	repairs     int
+}
+
+// NewBase constructs the engine for one node. name labels the protocol in
+// panics and traces.
+func NewBase(name string, cfg Config, hooks Hooks) *Base {
+	if hooks.QueryDelay == nil {
+		panic("proto: QueryDelay hook is required")
+	}
+	return &Base{
+		cfg:          cfg,
+		hooks:        hooks,
+		name:         name,
+		routes:       make(map[packet.FloodKey]*Route),
+		fg:           make(map[packet.FloodKey]bool),
+		coveredSelf:  make(map[packet.FloodKey]bool),
+		repliedJQ:    make(map[packet.FloodKey]bool),
+		seenJR:       make(map[jrKey]bool),
+		seenData:     make(map[packet.DataKey]bool),
+		gotData:      make(map[packet.FloodKey]int),
+		dataSeq:      make(map[packet.FloodKey]uint32),
+		repliesHeard: make(map[packet.FloodKey]map[packet.NodeID]bool),
+		nbrHop:       make(map[packet.FloodKey]map[packet.NodeID]int32),
+	}
+}
+
+// Name returns the protocol label.
+func (b *Base) Name() string { return b.name }
+
+// Node returns the node this instance runs on (nil before Attach).
+func (b *Base) Node() *network.Node { return b.node }
+
+// Attach implements network.Protocol.
+func (b *Base) Attach(n *network.Node) {
+	if b.node != nil {
+		panic(fmt.Sprintf("proto(%s): double attach", b.name))
+	}
+	b.node = n
+	b.rnd = n.Rand.Derive("proto")
+	b.NT = neighbor.NewTable(b.cfg.NeighborExpiry)
+}
+
+// Start implements network.Protocol: it schedules the HELLO rounds of the
+// initialization phase (§IV.B).
+func (b *Base) Start() {
+	for round := 0; round < b.cfg.HelloRounds; round++ {
+		at := sim.Time(round)*b.cfg.HelloInterval + b.jitter(b.cfg.HelloJitter)
+		b.node.After(at, b.sendHello)
+	}
+}
+
+func (b *Base) sendHello() {
+	b.node.Send(packet.NewHello(b.node.ID, b.node.Groups()))
+}
+
+// jitter returns U(0, max), or 0 when max is 0.
+func (b *Base) jitter(max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	return sim.Time(b.rnd.Uint64n(uint64(max)))
+}
+
+// Uniform returns a uniform draw in [lo, hi) of virtual time; protocol
+// hooks use it for their randomised backoff terms.
+func (b *Base) Uniform(lo, hi sim.Time) sim.Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Time(b.rnd.Uint64n(uint64(hi-lo)))
+}
+
+// Receive implements network.Protocol.
+func (b *Base) Receive(p *packet.Packet) {
+	switch p.Type {
+	case packet.THello:
+		b.onHello(p)
+	case packet.TJoinQuery:
+		b.onJoinQuery(p)
+	case packet.TJoinReply:
+		b.onJoinReply(p)
+	case packet.TData:
+		b.onData(p)
+	}
+}
+
+func (b *Base) onHello(p *packet.Packet) {
+	b.NT.Observe(p.From, b.node.Now(), p.Hello.Groups)
+}
+
+// --- Multicast session API (used by the experiment harness) ---
+
+// FloodQuery starts route discovery for group g from this node (the
+// multicast source) and returns the session key.
+func (b *Base) FloodQuery(g packet.GroupID) packet.FloodKey {
+	b.nextSeq++
+	q := packet.JoinQuery{
+		SourceID:   b.node.ID,
+		GroupID:    g,
+		SequenceNo: b.nextSeq,
+		HopCount:   0,
+		PathProfit: 0,
+	}
+	key := q.Key()
+	// Pre-register so the echo of our own flood is a duplicate.
+	b.routes[key] = &Route{Upstream: packet.NoNode, HopCount: 0}
+	b.repliedJQ[key] = true
+	b.repliesHeard[key] = make(map[packet.NodeID]bool)
+	b.node.Send(packet.NewJoinQuery(b.node.ID, q))
+	return key
+}
+
+// SendData transmits one data packet down the constructed tree. Only
+// meaningful at the session's source. Successive calls with the same key
+// send successive packets of the session (distinct DataSeq), all forwarded
+// by the same tree.
+func (b *Base) SendData(key packet.FloodKey, payloadLen int) {
+	b.dataSeq[key]++
+	d := packet.Data{
+		SourceID:   key.Source,
+		GroupID:    key.Group,
+		SequenceNo: key.Seq,
+		DataSeq:    b.dataSeq[key],
+		PayloadLen: payloadLen,
+	}
+	b.seenData[d.PacketKey()] = true
+	b.gotData[key]++
+	b.node.Send(packet.NewData(b.node.ID, d))
+}
+
+// IsForwarder reports whether this node holds the session's FG flag.
+func (b *Base) IsForwarder(key packet.FloodKey) bool { return b.fg[key] }
+
+// SetForwarder force-sets the FG flag (used by route-repair extensions and
+// tests).
+func (b *Base) SetForwarder(key packet.FloodKey) { b.fg[key] = true }
+
+// Covered reports whether this receiver marked itself covered.
+func (b *Base) Covered(key packet.FloodKey) bool { return b.coveredSelf[key] }
+
+// GotData reports whether any of the session's data packets reached this
+// node.
+func (b *Base) GotData(key packet.FloodKey) bool { return b.gotData[key] > 0 }
+
+// DataReceived returns how many distinct data packets of the session this
+// node received.
+func (b *Base) DataReceived(key packet.FloodKey) int { return b.gotData[key] }
+
+// RouteFor returns the learned reverse-path entry, or nil.
+func (b *Base) RouteFor(key packet.FloodKey) *Route { return b.routes[key] }
+
+// RepliesHeard returns, at the source, the number of distinct receivers
+// whose JoinReply completed the reverse path.
+func (b *Base) RepliesHeard(key packet.FloodKey) int { return len(b.repliesHeard[key]) }
+
+// HasUphillForwarder reports whether some neighbor is a known forwarder
+// for the session AND strictly closer to the source than this node. This
+// is the safe precondition for the path handover scheme: anchoring only
+// onto uphill forwarders makes handover chains strictly decreasing in hop
+// count, so they always terminate at a source-adjacent forwarder and can
+// never form the mutual-handover cycles that strand receivers.
+func (b *Base) HasUphillForwarder(key packet.FloodKey) bool {
+	rt := b.routes[key]
+	if rt == nil {
+		return false
+	}
+	hops := b.nbrHop[key]
+	for _, id := range b.NT.IDs() {
+		e := b.NT.Entry(id)
+		if e == nil || !e.Forwarder(key) {
+			continue
+		}
+		if h, ok := hops[id]; ok && h < rt.HopCount {
+			return true
+		}
+	}
+	return false
+}
+
+// NeighborHop returns the learned hop distance of a neighbor for the
+// session, and whether it is known.
+func (b *Base) NeighborHop(key packet.FloodKey, id packet.NodeID) (int32, bool) {
+	h, ok := b.nbrHop[key][id]
+	return h, ok
+}
+
+// --- JoinQuery path (§IV.C.1, Algorithm 1) ---
+
+func (b *Base) onJoinQuery(p *packet.Packet) {
+	q := *p.JoinQuery
+	key := q.Key()
+	if b.node.ID == key.Source {
+		return // echo of our own flood
+	}
+	// Every copy — including duplicates — reveals the sender's own hop
+	// distance (a node rebroadcasts with HopCount equal to its distance).
+	hops := b.nbrHop[key]
+	if hops == nil {
+		hops = make(map[packet.NodeID]int32)
+		b.nbrHop[key] = hops
+	}
+	if old, ok := hops[p.From]; !ok || q.HopCount < old {
+		hops[p.From] = q.HopCount
+	}
+	if _, dup := b.routes[key]; dup {
+		return // only the first copy is processed
+	}
+	if !b.NT.Reliable(p.From, b.cfg.MinHelloCount) {
+		// Link-quality gate: do not learn a reverse path over a link that
+		// barely delivers beacons; a later copy from a solid neighbor
+		// will be accepted instead.
+		return
+	}
+	b.routes[key] = &Route{
+		Upstream:   p.From,
+		HopCount:   q.HopCount + 1,
+		PathProfit: q.PathProfit,
+	}
+
+	if b.node.InGroup(key.Group) {
+		b.coveredSelf[key] = true
+		silent := b.hooks.SuppressReply != nil && b.hooks.SuppressReply(b, key)
+		if !silent {
+			b.node.After(b.jitter(b.cfg.ReplyJitter), func() { b.originateReply(key) })
+		}
+	}
+
+	// Biased backoff, then rebroadcast the flood.
+	delay := b.hooks.QueryDelay(b, q, p.From)
+	if delay < 0 {
+		delay = 0
+	}
+	b.node.After(delay, func() { b.forwardJoinQuery(q) })
+}
+
+func (b *Base) forwardJoinQuery(q packet.JoinQuery) {
+	out := q
+	out.HopCount = q.HopCount + 1
+	if b.hooks.OutPathProfit != nil {
+		out.PathProfit = b.hooks.OutPathProfit(b, q)
+	}
+	b.node.Send(packet.NewJoinQuery(b.node.ID, out))
+}
+
+func (b *Base) originateReply(key packet.FloodKey) {
+	rt := b.routes[key]
+	if rt == nil || rt.Upstream == packet.NoNode {
+		return
+	}
+	r := packet.JoinReply{
+		NexthopID:  rt.Upstream,
+		ReceiverID: b.node.ID,
+		SourceID:   key.Source,
+		GroupID:    key.Group,
+		SequenceNo: key.Seq,
+	}
+	b.node.Send(packet.NewJoinReply(b.node.ID, r))
+}
+
+// --- JoinReply path (§IV.C.2, Algorithm 2) ---
+
+func (b *Base) onJoinReply(p *packet.Packet) {
+	r := *p.JoinReply
+	key := r.Key()
+
+	if r.NexthopID != b.node.ID {
+		// Overhearing (Algorithm 2, lines 19-23): "it will update its
+		// neighbor table and mark this neighbor as a forwarder". Only
+		// established neighbors (known from HELLOs) are marked — under
+		// fading channels an occasional frame decodes from far outside
+		// the reliable disc, and trusting such a sender as a covering
+		// forwarder would poison the path handover scheme.
+		if b.hooks.Overhear && b.NT.Entry(p.From) != nil {
+			if r.ReceiverID != r.NodeID {
+				b.NT.MarkForwarder(p.From, key, b.node.Now())
+			} else {
+				b.NT.MarkCovered(p.From, key, b.node.Now())
+			}
+		}
+		return
+	}
+
+	// We are the selected next hop.
+	if b.node.ID == key.Source {
+		heard := b.repliesHeard[key]
+		if heard == nil {
+			heard = make(map[packet.NodeID]bool)
+			b.repliesHeard[key] = heard
+		}
+		heard[r.ReceiverID] = true
+		return
+	}
+
+	jk := jrKey{session: key, receiver: r.ReceiverID}
+	if b.seenJR[jk] {
+		return
+	}
+	b.seenJR[jk] = true
+
+	// Path handover (Algorithm 2, lines 4-6): a known forwarder neighbor
+	// already provides a route toward the source.
+	if b.hooks.GraftOnReply != nil && b.hooks.GraftOnReply(b, key) {
+		b.fg[key] = true
+		return
+	}
+	if b.fg[key] {
+		return // already on the tree; the route exists
+	}
+	if b.node.InGroup(key.Group) && b.coveredSelf[key] {
+		// Covered receiver addressed as next hop: join the tree without
+		// relaying (its own JoinReply already built the upstream path).
+		b.fg[key] = true
+		return
+	}
+
+	// Become a forwarder and propagate toward the source.
+	b.fg[key] = true
+	rt := b.routes[key]
+	if rt == nil || rt.Upstream == packet.NoNode {
+		return // no reverse path (stale reply); flag stays set
+	}
+	up := rt.Upstream
+	rcv := r.ReceiverID
+	b.node.After(b.jitter(b.cfg.RelayJitter), func() {
+		b.node.Send(packet.NewJoinReply(b.node.ID, packet.JoinReply{
+			NexthopID:  up,
+			ReceiverID: rcv,
+			SourceID:   key.Source,
+			GroupID:    key.Group,
+			SequenceNo: key.Seq,
+		}))
+	})
+}
+
+// --- Data forwarding (§IV.D) ---
+
+func (b *Base) onData(p *packet.Packet) {
+	d := *p.Data
+	key := d.Key()
+	if b.seenData[d.PacketKey()] {
+		return // forward only the first copy of each packet
+	}
+	b.seenData[d.PacketKey()] = true
+	b.gotData[key]++
+	if !b.fg[key] {
+		return
+	}
+	b.node.After(b.jitter(b.cfg.DataJitter), func() {
+		b.node.Send(packet.NewData(b.node.ID, d))
+	})
+}
+
+// Router is the interface the experiment harness drives. *Base satisfies
+// it, so every protocol built on Base does too.
+type Router interface {
+	network.Protocol
+	Name() string
+	FloodQuery(g packet.GroupID) packet.FloodKey
+	SendData(key packet.FloodKey, payloadLen int)
+	IsForwarder(key packet.FloodKey) bool
+	Covered(key packet.FloodKey) bool
+	GotData(key packet.FloodKey) bool
+	RepliesHeard(key packet.FloodKey) int
+}
+
+var _ Router = (*Base)(nil)

@@ -1,0 +1,135 @@
+package proto
+
+import (
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+)
+
+// Route maintenance (§IV.D of the paper): "if a multicast receiver detects
+// a missing forwarder through periodical HELLO messages, it can broadcast
+// a route error message to repair the failed link locally or even trigger
+// the source to initiate a new multicast routing construction process."
+//
+// This file implements that sketch as an opt-in extension:
+//
+//   - EnableMaintenance keeps HELLO beacons running beyond the
+//     initialization rounds and ages the neighbor table, so a failed
+//     forwarder disappears from its neighbors' tables.
+//   - WatchSession arms a receiver-side watchdog: when every known
+//     forwarder neighbor for the session has expired from the table, the
+//     receiver re-originates a JoinReply along its (still cached) reverse
+//     path — the "local repair". If the reverse path is gone too, the
+//     registered OnRouteLoss callback fires so the application (or the
+//     experiment harness) can trigger a fresh source flood — the "global
+//     repair".
+//
+// The repair machinery is deliberately conservative: it reuses the
+// protocol's existing JoinReply handling, so a repair reply recruits
+// forwarders exactly like a discovery-time reply and inherits PHS/bias
+// behaviour from the protocol's hooks.
+
+// MaintenanceConfig tunes the repair extension.
+type MaintenanceConfig struct {
+	// HelloInterval is the steady-state beacon period.
+	HelloInterval sim.Time
+	// HelloJitter randomises each beacon.
+	HelloJitter sim.Time
+	// Expiry is the neighbor-table age limit; a forwarder missing this
+	// long is presumed dead. Typically 2-3 HelloIntervals.
+	Expiry sim.Time
+	// CheckInterval is how often a watching receiver audits its
+	// forwarder neighborhood.
+	CheckInterval sim.Time
+	// Rounds bounds how many maintenance cycles run (keeps simulations
+	// finite; 0 means no maintenance).
+	Rounds int
+}
+
+// DefaultMaintenanceConfig returns steady-state timings: 1 s beacons,
+// 2.5 s expiry, 1 s audits, 10 cycles.
+func DefaultMaintenanceConfig() MaintenanceConfig {
+	return MaintenanceConfig{
+		HelloInterval: sim.Second,
+		HelloJitter:   200 * sim.Millisecond,
+		Expiry:        2500 * sim.Millisecond,
+		CheckInterval: sim.Second,
+		Rounds:        10,
+	}
+}
+
+// EnableMaintenance schedules mc.Rounds of steady-state HELLO beacons and
+// table aging, starting one interval from now. Call after Attach.
+func (b *Base) EnableMaintenance(mc MaintenanceConfig) {
+	b.maint = &mc
+	b.NT.SetExpiry(mc.Expiry)
+	for round := 1; round <= mc.Rounds; round++ {
+		at := sim.Time(round)*mc.HelloInterval + b.jitter(mc.HelloJitter)
+		b.node.After(at, func() {
+			b.sendHello()
+			b.NT.Expire(b.node.Now())
+		})
+	}
+}
+
+// OnRouteLoss registers the callback fired when local repair is
+// impossible (no cached reverse path); the paper's "trigger the source to
+// initiate a new multicast routing construction process".
+func (b *Base) OnRouteLoss(fn func(key packet.FloodKey)) { b.onRouteLoss = fn }
+
+// WatchSession arms the receiver-side watchdog for a session this node is
+// a receiver of. It audits the neighborhood every CheckInterval for
+// maintenance Rounds cycles.
+func (b *Base) WatchSession(key packet.FloodKey) {
+	if b.maint == nil {
+		panic("proto: WatchSession requires EnableMaintenance")
+	}
+	mc := *b.maint
+	for round := 1; round <= mc.Rounds; round++ {
+		at := sim.Time(round) * mc.CheckInterval
+		b.node.After(at, func() { b.auditSession(key, mc) })
+	}
+}
+
+// auditSession checks whether the receiver still has a live route: either
+// a forwarder neighbor (data arrives by its broadcast) or a live upstream.
+func (b *Base) auditSession(key packet.FloodKey, mc MaintenanceConfig) {
+	if !b.node.InGroup(key.Group) || !b.coveredSelf[key] {
+		return
+	}
+	now := b.node.Now()
+	b.NT.Expire(now)
+
+	// A live forwarder neighbor keeps us covered.
+	if b.liveForwarderNeighbor(key, now, mc.Expiry) {
+		return
+	}
+	// Local repair: re-originate a JoinReply along the cached reverse
+	// path, provided the upstream is still alive in the table.
+	rt := b.routes[key]
+	if rt != nil && rt.Upstream != packet.NoNode {
+		if e := b.NT.Entry(rt.Upstream); e != nil && now-e.LastSeen <= mc.Expiry {
+			b.repairs++
+			b.originateReply(key)
+			return
+		}
+	}
+	// Global repair needed.
+	if b.onRouteLoss != nil {
+		b.onRouteLoss(key)
+	}
+}
+
+// liveForwarderNeighbor reports whether some neighbor marked forwarder for
+// the session was heard within the expiry window.
+func (b *Base) liveForwarderNeighbor(key packet.FloodKey, now, expiry sim.Time) bool {
+	for _, id := range b.NT.IDs() {
+		e := b.NT.Entry(id)
+		if e != nil && e.Forwarder(key) && now-e.LastSeen <= expiry {
+			return true
+		}
+	}
+	return false
+}
+
+// Repairs returns how many local repairs this node initiated.
+func (b *Base) Repairs() int { return b.repairs }

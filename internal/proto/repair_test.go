@@ -1,0 +1,200 @@
+package proto
+
+import (
+	"testing"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+// maintenanceRig builds a Y-shaped network where the receiver R has two
+// potential paths to the source:
+//
+//	S(0) — u(1) — F(2)
+//	        \      \
+//	         u'(3)— R(4)     (u' also adjacent to R; F adjacent to R)
+//
+// Positions: S(0,30), u(30,30), F(60,40), u'(60,10), R(90,30).
+// Ranges: 40 m. F-R: 31.6 m OK; u'-R: 36 m OK; u-F: 31.6; u-u': 36;
+// F-u' : 30 m apart vertically => dist 30 OK (they're adjacent too).
+func maintenanceRig(t *testing.T) (*network.Network, []*Base) {
+	t.Helper()
+	pts := []geom.Point{
+		{X: 0, Y: 30},  // 0 S
+		{X: 30, Y: 30}, // 1 u
+		{X: 60, Y: 40}, // 2 F
+		{X: 60, Y: 10}, // 3 u'
+		{X: 90, Y: 30}, // 4 R
+	}
+	topo, err := topology.FromPositions(pts, 120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncfg := network.DefaultConfig(3)
+	ncfg.MAC = network.MACIdeal
+	ncfg.DisableCollisions = true
+	net := network.New(topo, ncfg)
+	cfg := deterministicConfig()
+	bases := make([]*Base, topo.N())
+	for i := range bases {
+		bases[i] = NewBase("test", cfg, Hooks{
+			QueryDelay: fixedDelay(sim.Millisecond),
+			Overhear:   true,
+			// PHS-style suppression so the receiver can end up silent,
+			// which is the local-repair case.
+			SuppressReply: func(b *Base, key packet.FloodKey) bool {
+				return b.NT.HasForwarder(key)
+			},
+		})
+		net.SetProtocol(i, bases[i])
+	}
+	return net, bases
+}
+
+func TestMaintenanceLocalRepair(t *testing.T) {
+	net, bases := maintenanceRig(t)
+	net.Nodes[4].JoinGroup(1)
+	net.Nodes[2].JoinGroup(1) // F is also a receiver so a forwarder exists near R
+
+	net.Start()
+	net.Run()
+	key := bases[0].FloodQuery(1)
+	net.Run()
+
+	// Sanity: the receiver got covered.
+	if !bases[4].Covered(key) {
+		t.Fatal("receiver not covered after discovery")
+	}
+	bases[0].SendData(key, 8)
+	net.Run()
+	if !bases[4].GotData(key) {
+		t.Fatal("initial delivery failed")
+	}
+
+	// Switch to steady-state maintenance and watch the session.
+	mc := MaintenanceConfig{
+		HelloInterval: 100 * sim.Millisecond,
+		HelloJitter:   30 * sim.Millisecond,
+		Expiry:        250 * sim.Millisecond,
+		CheckInterval: 100 * sim.Millisecond,
+		Rounds:        8,
+	}
+	for _, b := range bases {
+		b.EnableMaintenance(mc)
+	}
+	lost := 0
+	bases[4].OnRouteLoss(func(packet.FloodKey) { lost++ })
+	bases[4].WatchSession(key)
+
+	// Kill the forwarder next to R.
+	var victim int = -1
+	for _, cand := range []int{2, 3} {
+		if bases[cand].IsForwarder(key) {
+			victim = cand
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("no forwarder adjacent to the receiver in this draw")
+	}
+	net.Nodes[victim].Fail()
+	net.Run()
+
+	// Either a local repair re-recruited a path, or route loss fired.
+	if bases[4].Repairs() == 0 && lost == 0 {
+		t.Fatal("failure went undetected")
+	}
+	if bases[4].Repairs() > 0 {
+		// After a local repair, fresh data must reach the receiver.
+		key2 := key // same session: repair reuses it
+		bases[0].SendData(packet.FloodKey{Source: key2.Source, Group: key2.Group, Seq: key2.Seq + 100}, 8)
+		// A brand-new data key is NOT forwarded (no fg flags); instead
+		// verify the repaired tree by checking a forwarder exists near R.
+		net.Run()
+		live := false
+		for _, nb := range []int{1, 2, 3} {
+			if nb != victim && bases[nb].IsForwarder(key) {
+				live = true
+			}
+		}
+		if !live {
+			t.Error("local repair recruited no forwarder")
+		}
+	}
+}
+
+func TestMaintenanceGlobalRepairSignal(t *testing.T) {
+	// Line topology: S - u - F - R. F is R's upstream AND its only
+	// covering forwarder; killing F must escalate to OnRouteLoss.
+	topo, err := topology.Grid(4, 1, 90, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncfg := network.DefaultConfig(4)
+	ncfg.MAC = network.MACIdeal
+	ncfg.DisableCollisions = true
+	net := network.New(topo, ncfg)
+	cfg := deterministicConfig()
+	bases := make([]*Base, 4)
+	for i := range bases {
+		bases[i] = NewBase("test", cfg, Hooks{QueryDelay: fixedDelay(sim.Millisecond), Overhear: true})
+		net.SetProtocol(i, bases[i])
+	}
+	net.Nodes[3].JoinGroup(1)
+	net.Start()
+	net.Run()
+	key := bases[0].FloodQuery(1)
+	net.Run()
+	if !bases[2].IsForwarder(key) {
+		t.Fatal("node 2 should forward")
+	}
+
+	mc := MaintenanceConfig{
+		HelloInterval: 100 * sim.Millisecond,
+		HelloJitter:   30 * sim.Millisecond,
+		Expiry:        250 * sim.Millisecond,
+		CheckInterval: 100 * sim.Millisecond,
+		Rounds:        8,
+	}
+	for _, b := range bases {
+		b.EnableMaintenance(mc)
+	}
+	lost := 0
+	bases[3].OnRouteLoss(func(k packet.FloodKey) {
+		if k == key {
+			lost++
+		}
+	})
+	bases[3].WatchSession(key)
+	net.Nodes[2].Fail()
+	net.Run()
+	if lost == 0 {
+		t.Error("dead upstream forwarder did not trigger route loss")
+	}
+
+	// The paper's escalation: the source refloods; a fresh session must
+	// deliver again after node 2 recovers (route around is impossible on
+	// a line, so recover it).
+	net.Nodes[2].Recover()
+	key2 := bases[0].FloodQuery(1)
+	net.Run()
+	bases[0].SendData(key2, 8)
+	net.Run()
+	if !bases[3].GotData(key2) {
+		t.Error("re-flooded session failed to deliver")
+	}
+}
+
+func TestWatchWithoutMaintenancePanics(t *testing.T) {
+	net, bases := maintenanceRig(t)
+	_ = net
+	defer func() {
+		if recover() == nil {
+			t.Error("WatchSession without EnableMaintenance should panic")
+		}
+	}()
+	bases[0].WatchSession(packet.FloodKey{})
+}

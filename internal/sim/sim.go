@@ -1,0 +1,189 @@
+package sim
+
+import "fmt"
+
+// Event is a scheduled callback. Events are created by Simulator.At/After
+// and may be cancelled until they fire. The zero Event is not usable.
+type Event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among simultaneous events
+	fn    func()
+	index int // position in the heap, -1 once removed
+}
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Simulator is a single-threaded discrete-event scheduler. All simulated
+// activity happens inside callbacks executed by Run/RunUntil/Step, in
+// nondecreasing time order; simultaneous events run in scheduling (FIFO)
+// order, which keeps runs deterministic.
+//
+// Simulator is not safe for concurrent use: the whole point of a DES is
+// that virtual concurrency is multiplexed onto one goroutine.
+type Simulator struct {
+	now       Time
+	heap      []*Event
+	seq       uint64
+	processed uint64
+	running   bool
+}
+
+// New returns an empty simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far (for stats/tests).
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a protocol bug, and silently reordering time
+// would corrupt the run.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	s.push(e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes e from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers need not track state.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	s.remove(e.index)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Simulator) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := s.pop()
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	s.running = true
+	for s.running && s.Step() {
+	}
+	s.running = false
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (even if the queue still holds later events).
+func (s *Simulator) RunUntil(t Time) {
+	s.running = true
+	for s.running && len(s.heap) > 0 && s.heap[0].at <= t {
+		s.Step()
+	}
+	s.running = false
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the active callback.
+func (s *Simulator) Stop() { s.running = false }
+
+// --- binary heap, ordered by (at, seq) ---
+
+func (s *Simulator) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].index = i
+	s.heap[j].index = j
+}
+
+func (s *Simulator) push(e *Event) {
+	e.index = len(s.heap)
+	s.heap = append(s.heap, e)
+	s.up(e.index)
+}
+
+func (s *Simulator) pop() *Event {
+	e := s.heap[0]
+	s.remove(0)
+	return e
+}
+
+func (s *Simulator) remove(i int) {
+	n := len(s.heap) - 1
+	e := s.heap[i]
+	if i != n {
+		s.swap(i, n)
+	}
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if i != n {
+		s.down(i)
+		s.up(i)
+	}
+	e.index = -1
+}
+
+func (s *Simulator) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Simulator) down(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && s.less(r, l) {
+			child = r
+		}
+		if !s.less(child, i) {
+			return
+		}
+		s.swap(i, child)
+		i = child
+	}
+}

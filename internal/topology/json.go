@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"mtmrp/internal/geom"
+)
+
+// fileFormat is the JSON representation of a saved deployment. The
+// adjacency is derived, not stored: positions + range fully determine it.
+type fileFormat struct {
+	Version   int          `json:"version"`
+	Kind      string       `json:"kind"`
+	Side      float64      `json:"side"`
+	Range     float64      `json:"range"`
+	Positions []geom.Point `json:"positions"`
+}
+
+const fileVersion = 1
+
+// ErrBadFile reports a malformed or incompatible topology file.
+var ErrBadFile = errors.New("topology: bad file")
+
+// Save writes the deployment as JSON, so scenarios can be pinned, shared
+// and replayed across runs and machines.
+func (t *Topology) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{
+		Version:   fileVersion,
+		Kind:      t.kind,
+		Side:      t.Side,
+		Range:     t.Range,
+		Positions: t.Positions,
+	})
+}
+
+// Load reads a deployment saved by Save and rebuilds its adjacency.
+func Load(r io.Reader) (*Topology, error) {
+	var f fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFile, err)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadFile, f.Version, fileVersion)
+	}
+	if len(f.Positions) < 2 {
+		return nil, ErrTooFewNodes
+	}
+	if f.Side <= 0 || f.Range <= 0 {
+		return nil, fmt.Errorf("%w: non-positive side or range", ErrBadFile)
+	}
+	for i, p := range f.Positions {
+		if !p.In(f.Side) {
+			return nil, fmt.Errorf("%w: node %d at %v outside the %g m field",
+				ErrBadFile, i, p, f.Side)
+		}
+	}
+	t := &Topology{
+		Positions: f.Positions,
+		Side:      f.Side,
+		Range:     f.Range,
+		kind:      f.Kind,
+	}
+	if t.kind == "" {
+		t.kind = fmt.Sprintf("loaded-%d", len(f.Positions))
+	}
+	t.buildAdjacency()
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mtmrp/internal/rng"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := Random(30, 150, 40, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.Side != orig.Side || got.Range != orig.Range {
+		t.Fatalf("metadata mismatch: %v vs %v", got, orig)
+	}
+	if got.Kind() != orig.Kind() {
+		t.Errorf("kind %q vs %q", got.Kind(), orig.Kind())
+	}
+	for i := range got.Positions {
+		if got.Positions[i] != orig.Positions[i] {
+			t.Fatalf("position %d mismatch", i)
+		}
+	}
+	// Adjacency is rebuilt identically.
+	for i := 0; i < got.N(); i++ {
+		a, b := got.Neighbors(i), orig.Neighbors(i)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("adjacency mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "certainly not json",
+		"wrong version": `{"version":99,"side":200,"range":40,"positions":[{"X":0,"Y":0},{"X":1,"Y":1}]}`,
+		"too few nodes": `{"version":1,"side":200,"range":40,"positions":[{"X":0,"Y":0}]}`,
+		"zero range":    `{"version":1,"side":200,"range":0,"positions":[{"X":0,"Y":0},{"X":1,"Y":1}]}`,
+		"outside field": `{"version":1,"side":200,"range":40,"positions":[{"X":0,"Y":0},{"X":999,"Y":1}]}`,
+		"negative side": `{"version":1,"side":-5,"range":40,"positions":[{"X":0,"Y":0},{"X":1,"Y":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadDefaultsKind(t *testing.T) {
+	in := `{"version":1,"side":200,"range":40,"positions":[{"X":0,"Y":0},{"X":10,"Y":0}]}`
+	topo, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Kind() != "loaded-2" {
+		t.Errorf("kind = %q", topo.Kind())
+	}
+}

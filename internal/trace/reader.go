@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadEvents parses a JSONL event log written by Logger. Blank lines are
+// skipped; a malformed line aborts with its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary aggregates an event log for diagnostics.
+type Summary struct {
+	Events     int
+	TxByType   map[string]int
+	RxByType   map[string]int
+	BytesOnAir int
+	FirstT     float64
+	LastT      float64
+	// BusiestTx lists the top transmitting nodes as (node, frames).
+	BusiestTx []NodeCount
+}
+
+// NodeCount pairs a node with a frame count.
+type NodeCount struct {
+	Node  int
+	Count int
+}
+
+// Summarize computes the aggregate view of an event log.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		TxByType: map[string]int{},
+		RxByType: map[string]int{},
+	}
+	perNode := map[int]int{}
+	for i, e := range events {
+		s.Events++
+		if i == 0 || e.T < s.FirstT {
+			s.FirstT = e.T
+		}
+		if e.T > s.LastT {
+			s.LastT = e.T
+		}
+		switch e.Kind {
+		case "tx":
+			s.TxByType[e.Type]++
+			s.BytesOnAir += e.Size
+			perNode[e.Node]++
+		case "rx":
+			s.RxByType[e.Type]++
+		}
+	}
+	for n, c := range perNode {
+		s.BusiestTx = append(s.BusiestTx, NodeCount{Node: n, Count: c})
+	}
+	sort.Slice(s.BusiestTx, func(i, j int) bool {
+		if s.BusiestTx[i].Count != s.BusiestTx[j].Count {
+			return s.BusiestTx[i].Count > s.BusiestTx[j].Count
+		}
+		return s.BusiestTx[i].Node < s.BusiestTx[j].Node
+	})
+	return s
+}
+
+// Format renders the summary as a human-readable report.
+func (s Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events:      %d (%.3fs .. %.3fs virtual)\n", s.Events, s.FirstT, s.LastT)
+	fmt.Fprintf(&b, "bytes on air: %d\n", s.BytesOnAir)
+	b.WriteString("transmissions by type:\n")
+	for _, typ := range sortedKeys(s.TxByType) {
+		fmt.Fprintf(&b, "  %-12s %6d tx %6d rx\n", typ, s.TxByType[typ], s.RxByType[typ])
+	}
+	if len(s.BusiestTx) > 0 {
+		b.WriteString("busiest transmitters:\n")
+		top := s.BusiestTx
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, nc := range top {
+			fmt.Fprintf(&b, "  node %-5d %6d frames\n", nc.Node, nc.Count)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleLog() string {
+	return `{"t":0.1,"kind":"tx","node":0,"type":"DATA","from":0,"size":100,"uid":1}
+{"t":0.2,"kind":"rx","node":1,"type":"DATA","from":0,"size":100,"uid":1}
+
+{"t":0.3,"kind":"tx","node":1,"type":"DATA","from":1,"size":100,"uid":2}
+{"t":0.4,"kind":"tx","node":1,"type":"HELLO","from":1,"size":32,"uid":3}
+`
+}
+
+func TestReadEvents(t *testing.T) {
+	events, err := ReadEvents(strings.NewReader(sampleLog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4 (blank line skipped)", len(events))
+	}
+	if events[0].Kind != "tx" || events[0].Node != 0 || events[0].Size != 100 {
+		t.Errorf("first event = %+v", events[0])
+	}
+}
+
+func TestReadEventsBadLine(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 error, got %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events, err := ReadEvents(strings.NewReader(sampleLog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if s.Events != 4 {
+		t.Errorf("Events = %d", s.Events)
+	}
+	if s.TxByType["DATA"] != 2 || s.TxByType["HELLO"] != 1 {
+		t.Errorf("TxByType = %v", s.TxByType)
+	}
+	if s.RxByType["DATA"] != 1 {
+		t.Errorf("RxByType = %v", s.RxByType)
+	}
+	if s.BytesOnAir != 232 { // tx only: 100+100+32
+		t.Errorf("BytesOnAir = %d", s.BytesOnAir)
+	}
+	if s.FirstT != 0.1 || s.LastT != 0.4 {
+		t.Errorf("window = %v..%v", s.FirstT, s.LastT)
+	}
+	if len(s.BusiestTx) != 2 || s.BusiestTx[0].Node != 1 || s.BusiestTx[0].Count != 2 {
+		t.Errorf("BusiestTx = %v", s.BusiestTx)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	events, _ := ReadEvents(strings.NewReader(sampleLog()))
+	out := Summarize(events).Format()
+	for _, want := range []string{"events:", "DATA", "HELLO", "busiest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripThroughLoggerAndReader(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+	lg.log(Event{T: 1, Kind: "tx", Node: 3, Type: "DATA", From: 3, Size: 10, UID: 5})
+	lg.log(Event{T: 2, Kind: "rx", Node: 4, Type: "DATA", From: 3, Size: 10, UID: 5})
+	if lg.Err() != nil {
+		t.Fatal(lg.Err())
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Node != 4 || events[1].UID != 5 {
+		t.Errorf("round trip = %+v", events)
+	}
+}

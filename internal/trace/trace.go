@@ -1,0 +1,187 @@
+// Package trace provides run observability: a structured event log
+// (JSON-lines, one event per frame on the air or delivered) and an ASCII
+// renderer for the field snapshots of the paper's Figures 9–10, where
+// hollow circles are idle sensors, crosses are multicast receivers and
+// filled markers are the forwarders a protocol recruited.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+)
+
+// Event is one logged frame event.
+type Event struct {
+	T    float64 `json:"t"`    // virtual time in seconds
+	Kind string  `json:"kind"` // "tx" or "rx"
+	Node int     `json:"node"` // transmitter or receiver
+	Type string  `json:"type"` // frame type
+	From int     `json:"from"` // last-hop sender
+	Size int     `json:"size"`
+	UID  uint64  `json:"uid"`
+}
+
+// Logger writes frame events as JSON lines. Attach to a network before
+// running; Err returns the first write error, if any.
+type Logger struct {
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewLogger creates a JSONL event logger.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, enc: json.NewEncoder(w)}
+}
+
+// Attach chains the logger into the network's observation hooks.
+func (l *Logger) Attach(net *network.Network) {
+	prevTx := net.OnTransmit
+	prevRx := net.OnDeliver
+	net.OnTransmit = func(n *network.Node, p *packet.Packet) {
+		if prevTx != nil {
+			prevTx(n, p)
+		}
+		l.log(Event{
+			T: net.Sim.Now().Seconds(), Kind: "tx", Node: int(n.ID),
+			Type: p.Type.String(), From: int(p.From), Size: p.Size, UID: p.UID,
+		})
+	}
+	net.OnDeliver = func(n *network.Node, p *packet.Packet) {
+		if prevRx != nil {
+			prevRx(n, p)
+		}
+		l.log(Event{
+			T: net.Sim.Now().Seconds(), Kind: "rx", Node: int(n.ID),
+			Type: p.Type.String(), From: int(p.From), Size: p.Size, UID: p.UID,
+		})
+	}
+}
+
+func (l *Logger) log(e Event) {
+	if l.err != nil {
+		return
+	}
+	l.err = l.enc.Encode(e)
+}
+
+// Err returns the first encoding/write error encountered.
+func (l *Logger) Err() error { return l.err }
+
+// Snapshot renders a field snapshot in the style of Figures 9–10.
+type Snapshot struct {
+	Side       float64
+	Positions  []geom.Point
+	Source     int
+	Receivers  map[int]bool
+	Forwarders map[int]bool // data transmitters other than the source
+	Cols, Rows int          // character grid; zero values take 61x31
+}
+
+// NewSnapshot builds a snapshot over explicit sets.
+func NewSnapshot(side float64, pos []geom.Point, source int, receivers, forwarders []int) *Snapshot {
+	s := &Snapshot{
+		Side:       side,
+		Positions:  pos,
+		Source:     source,
+		Receivers:  make(map[int]bool, len(receivers)),
+		Forwarders: make(map[int]bool, len(forwarders)),
+	}
+	for _, r := range receivers {
+		s.Receivers[r] = true
+	}
+	for _, f := range forwarders {
+		if f != source {
+			s.Forwarders[f] = true
+		}
+	}
+	return s
+}
+
+// Legend used by Render:
+//
+//	S  source            #  forwarder (extra node)
+//	x  receiver          X  receiver acting as forwarder
+//	.  idle sensor
+func (s *Snapshot) Render() string {
+	cols, rows := s.Cols, s.Rows
+	if cols <= 0 {
+		cols = 61
+	}
+	if rows <= 0 {
+		rows = 31
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	// Priority per cell: S > X > # > x > .
+	rank := func(b byte) int {
+		switch b {
+		case 'S':
+			return 5
+		case 'X':
+			return 4
+		case '#':
+			return 3
+		case 'x':
+			return 2
+		case '.':
+			return 1
+		default:
+			return 0
+		}
+	}
+	for i, p := range s.Positions {
+		cx := int(p.X / s.Side * float64(cols-1))
+		cy := int(p.Y / s.Side * float64(rows-1))
+		if cx < 0 || cx >= cols || cy < 0 || cy >= rows {
+			continue
+		}
+		var ch byte
+		switch {
+		case i == s.Source:
+			ch = 'S'
+		case s.Receivers[i] && s.Forwarders[i]:
+			ch = 'X'
+		case s.Forwarders[i]:
+			ch = '#'
+		case s.Receivers[i]:
+			ch = 'x'
+		default:
+			ch = '.'
+		}
+		// Y grows upward in the paper's plots; render row 0 at the top.
+		row := rows - 1 - cy
+		if rank(ch) > rank(grid[row][cx]) {
+			grid[row][cx] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", cols))
+	for _, line := range grid {
+		fmt.Fprintf(&b, "|%s|\n", line)
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", cols))
+	b.WriteString("S source   x receiver   # forwarder   X receiver+forwarder   . sensor\n")
+	return b.String()
+}
+
+// Counts returns (transmissions, extraNodes) implied by the snapshot,
+// matching the captions of Figures 9–10.
+func (s *Snapshot) Counts() (transmissions, extraNodes int) {
+	transmissions = 1 // the source
+	for f := range s.Forwarders {
+		transmissions++
+		if !s.Receivers[f] {
+			extraNodes++
+		}
+	}
+	return transmissions, extraNodes
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/topology"
+)
+
+func TestLoggerRecordsTxAndRx(t *testing.T) {
+	topo, err := topology.Grid(2, 1, 30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := network.DefaultConfig(1)
+	cfg.MAC = network.MACIdeal
+	net := network.New(topo, cfg)
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+	lg.Attach(net)
+	net.Nodes[0].Send(packet.NewHello(0, nil))
+	net.Run()
+	if lg.Err() != nil {
+		t.Fatal(lg.Err())
+	}
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2 (tx + rx)", len(events))
+	}
+	if events[0].Kind != "tx" || events[0].Node != 0 || events[0].Type != "HELLO" {
+		t.Errorf("tx event = %+v", events[0])
+	}
+	if events[1].Kind != "rx" || events[1].Node != 1 || events[1].From != 0 {
+		t.Errorf("rx event = %+v", events[1])
+	}
+	if events[1].T < events[0].T {
+		t.Error("rx before tx")
+	}
+}
+
+func TestLoggerChainsHooks(t *testing.T) {
+	topo, _ := topology.Grid(2, 1, 30, 40)
+	cfg := network.DefaultConfig(1)
+	cfg.MAC = network.MACIdeal
+	net := network.New(topo, cfg)
+	called := false
+	net.OnTransmit = func(n *network.Node, p *packet.Packet) { called = true }
+	lg := NewLogger(&bytes.Buffer{})
+	lg.Attach(net)
+	net.Nodes[0].Send(packet.NewHello(0, nil))
+	net.Run()
+	if !called {
+		t.Error("previous hook not chained")
+	}
+}
+
+func snapshotFixture() *Snapshot {
+	pos := []geom.Point{
+		{X: 0, Y: 0},     // source
+		{X: 100, Y: 100}, // forwarder (extra)
+		{X: 200, Y: 200}, // receiver
+		{X: 200, Y: 0},   // receiver + forwarder
+		{X: 0, Y: 200},   // idle
+	}
+	return NewSnapshot(200, pos, 0, []int{2, 3}, []int{1, 3})
+}
+
+func TestSnapshotRender(t *testing.T) {
+	s := snapshotFixture()
+	out := s.Render()
+	for _, want := range []string{"S", "#", "x", "X", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Source is bottom-left: the 'S' must appear on the last grid row.
+	lines := strings.Split(out, "\n")
+	var sRow, xRow int
+	for i, l := range lines {
+		if strings.Contains(l, "S") && strings.HasPrefix(l, "|") {
+			sRow = i
+		}
+		if strings.Contains(l, "x") && strings.HasPrefix(l, "|") {
+			xRow = i
+		}
+	}
+	if sRow <= xRow {
+		t.Errorf("source row %d should be below receiver row %d (y-up rendering)", sRow, xRow)
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	s := snapshotFixture()
+	tx, extra := s.Counts()
+	if tx != 3 { // source + 2 forwarders
+		t.Errorf("transmissions = %d, want 3", tx)
+	}
+	if extra != 1 { // forwarder 1 only; forwarder 3 is a receiver
+		t.Errorf("extra = %d, want 1", extra)
+	}
+}
+
+func TestSnapshotExcludesSourceFromForwarders(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 100}}
+	s := NewSnapshot(200, pos, 0, nil, []int{0, 1})
+	tx, _ := s.Counts()
+	if tx != 2 {
+		t.Errorf("source listed as forwarder must not double-count: %d", tx)
+	}
+}
+
+func TestSnapshotPriorityOverlap(t *testing.T) {
+	// Two nodes mapping to the same cell: higher-priority glyph wins.
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	s := NewSnapshot(200, pos, 0, nil, nil)
+	out := s.Render()
+	if !strings.Contains(out, "S") {
+		t.Error("source glyph lost to overlap")
+	}
+}
