@@ -5,6 +5,7 @@ import (
 
 	"mtmrp/internal/centralized"
 	"mtmrp/internal/experiment"
+	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/graph"
 	"mtmrp/internal/metrics"
@@ -62,6 +63,50 @@ const (
 // Run executes one complete multicast session: HELLO phase, JoinQuery
 // flood, JoinReply tree construction, one data packet down the tree.
 func Run(sc Scenario) (*Outcome, error) { return experiment.Run(sc) }
+
+// Session exposes the phases of a multicast session individually:
+// NewSession -> RunHello -> RunDiscovery -> RunData -> Metrics. Run is the
+// one-shot equivalent.
+type Session = experiment.Session
+
+// NewSession validates a scenario and builds its network without running
+// anything yet.
+func NewSession(sc Scenario) (*Session, error) { return experiment.NewSession(sc) }
+
+// ErrNoDiscovery is returned by Session.RunData before any discovery round.
+var ErrNoDiscovery = experiment.ErrNoDiscovery
+
+// Sweep engine types: every Monte-Carlo driver below runs on a shared
+// deterministic worker pool, configured through EngineOptions.
+type (
+	// EngineOptions selects worker count, cancellation context, progress
+	// callback and error policy for a sweep.
+	EngineOptions = experiment.EngineOptions
+	// SweepStats reports wall-clock and per-run statistics for a sweep.
+	SweepStats = sweep.Stats
+	// Progress is one progress-callback observation (done/total, ETA).
+	Progress = sweep.Progress
+	// ProgressFunc receives Progress updates during a sweep.
+	ProgressFunc = sweep.ProgressFunc
+	// ErrorPolicy selects how a sweep reacts to failing runs.
+	ErrorPolicy = sweep.ErrorPolicy
+	// JobError is one failed run, labelled for reproduction.
+	JobError = sweep.JobError
+	// SweepErrors aggregates failed runs under CollectErrors.
+	SweepErrors = sweep.Errors
+)
+
+// Error policies for EngineOptions.ErrorPolicy.
+const (
+	// FailFast cancels the sweep on the first failing run (default).
+	FailFast = sweep.FailFast
+	// CollectErrors keeps going and reports all failures at the end.
+	CollectErrors = sweep.CollectErrors
+)
+
+// PartialOK reports whether a sweep error still left a usable partial
+// result (cancellation, timeout, or collected per-run failures).
+func PartialOK(err error) bool { return sweep.PartialOK(err) }
 
 // Grid returns the paper's 10x10 grid deployment (200x200 m, 40 m range).
 func Grid() *Topology { return topology.PaperGrid() }

@@ -178,6 +178,40 @@ func BenchmarkFig10Snapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupSizeSweep times the Figure 5 Monte-Carlo driver end to end
+// on the shared sweep engine, serial vs all-cores, so the pool's speedup
+// (and the determinism guarantee's cost) shows up in benchstat. One op is
+// a small but complete sweep: 3 sizes x 4 runs x all four protocols.
+func BenchmarkGroupSizeSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=all", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var runsDone float64
+			for i := 0; i < b.N; i++ {
+				res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
+					Topo:  mtmrp.GridTopo,
+					Sizes: []int{10, 20, 30},
+					Runs:  4,
+					Seed:  uint64(i),
+					Engine: mtmrp.EngineOptions{
+						Workers: bc.workers,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runsDone += float64(res.Stats.Completed)
+			}
+			b.ReportMetric(runsDone/float64(b.N), "runs/op")
+		})
+	}
+}
+
 // BenchmarkFloodingBaseline times the introduction's strawman for scale.
 func BenchmarkFloodingBaseline(b *testing.B) {
 	benchScenario(b, mtmrp.GridTopo, 20, mtmrp.Flooding, 4, mtmrp.Millisecond)

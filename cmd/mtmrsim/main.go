@@ -28,22 +28,24 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		nParam   = flag.Int("n", 4, "biased backoff parameter N")
 		deltaMs  = flag.Float64("delta", 1, "slot unit delta in milliseconds")
+		packets  = flag.Int("packets", 1, "data packets to send down the constructed tree")
+		rounds   = flag.Int("rounds", 0, "discovery rounds before sending data (0 = protocol default)")
 		snapshot = flag.Bool("snapshot", false, "render the forwarder field")
-		verbose  = flag.Bool("v", false, "print per-type transmission counts")
+		verbose  = flag.Bool("v", false, "print per-type transmission counts and per-phase event totals")
 		traceOut = flag.String("trace", "", "write a JSONL event log to this file (see traceview)")
 	)
 	flag.Parse()
 
 	if err := run(*topoKind, *topoFile, *nodes, *side, *txRange, *protoArg, *rcvCount,
-		*seed, *nParam, *deltaMs, *snapshot, *verbose, *traceOut); err != nil {
+		*seed, *nParam, *deltaMs, *packets, *rounds, *snapshot, *verbose, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mtmrsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg string,
-	rcvCount int, seed uint64, nParam int, deltaMs float64, snapshot, verbose bool,
-	traceOut string) error {
+	rcvCount int, seed uint64, nParam int, deltaMs float64, packets, rounds int,
+	snapshot, verbose bool, traceOut string) error {
 
 	var topo *mtmrp.Topology
 	var err error
@@ -91,7 +93,21 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 		defer f.Close()
 		sc.TraceWriter = f
 	}
-	out, err := mtmrp.Run(sc)
+	// Drive the session phase by phase (rather than the one-shot Run) so
+	// each phase's simulator-event share can be reported under -v.
+	s, err := mtmrp.NewSession(sc)
+	if err != nil {
+		return err
+	}
+	s.RunHello()
+	helloEvents := s.Events()
+	s.RunDiscovery(rounds)
+	discoveryEvents := s.Events() - helloEvents
+	if err := s.RunData(packets); err != nil {
+		return err
+	}
+	dataEvents := s.Events() - helloEvents - discoveryEvents
+	out, err := s.Outcome()
 	if err != nil {
 		return err
 	}
@@ -110,6 +126,8 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 		fmt.Printf("tx by type:              HELLO=%d JQ=%d JR=%d DATA=%d\n",
 			r.TxByType[0], r.TxByType[1], r.TxByType[2], r.TxByType[3])
 		fmt.Printf("bytes on air:            %d\n", r.BytesTx)
+		fmt.Printf("events by phase:         hello=%d discovery=%d data=%d\n",
+			helloEvents, discoveryEvents, dataEvents)
 	}
 	if snapshot {
 		var fwd []int

@@ -11,17 +11,24 @@
 //	repro -fig all          everything above
 //
 // -runs controls the Monte-Carlo rounds per point (paper: 100); lower it
-// for a quick look. Output is plain text tables: each figure's series with
-// mean ± 95% CI.
+// for a quick look. All sweeps run on the deterministic worker pool
+// (-workers, default all cores): results are bit-identical for any worker
+// count. Ctrl-C (or -timeout) stops a sweep early and still prints the
+// rounds completed so far. Output is plain text tables: each figure's
+// series with mean ± 95% CI.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"mtmrp"
@@ -33,6 +40,7 @@ func main() {
 		runs    = flag.Int("runs", 100, "Monte-Carlo rounds per data point")
 		seed    = flag.Uint64("seed", 2010, "base seed for the sweep")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		timeout = flag.Duration("timeout", 0, "abort after this long, keeping partial results (0 = none)")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
 		gmr     = flag.Bool("with-gmr", false, "add the geographic multicast baseline to Figures 5-6")
 	)
@@ -46,25 +54,36 @@ func main() {
 		}
 	}
 
+	// Ctrl-C cancels the running sweep; partial tables are still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runCtx = ctx
+	workersFlag = *workers
+
 	start := time.Now()
 	var err error
 	switch *fig {
 	case "1":
 		err = fig1()
 	case "5":
-		err = figGroupSweep(mtmrp.GridTopo, *runs, *seed, *workers)
+		err = figGroupSweep(mtmrp.GridTopo, *runs, *seed)
 	case "6":
-		err = figGroupSweep(mtmrp.RandomTopo, *runs, *seed, *workers)
+		err = figGroupSweep(mtmrp.RandomTopo, *runs, *seed)
 	case "7":
-		err = figTuning(mtmrp.GridTopo, *runs, *seed, *workers)
+		err = figTuning(mtmrp.GridTopo, *runs, *seed)
 	case "8":
-		err = figTuning(mtmrp.RandomTopo, *runs, *seed, *workers)
+		err = figTuning(mtmrp.RandomTopo, *runs, *seed)
 	case "9":
 		err = figSnapshot(mtmrp.GridTopo, 20, *seed)
 	case "10":
 		err = figSnapshot(mtmrp.RandomTopo, 15, *seed)
 	case "ablation":
-		err = figAblation(*runs, *seed, *workers)
+		err = figAblation(*runs, *seed)
 	case "amortize":
 		err = figAmortize(*runs, *seed)
 	case "shadowing":
@@ -72,13 +91,13 @@ func main() {
 	case "all":
 		for _, f := range []func() error{
 			fig1,
-			func() error { return figGroupSweep(mtmrp.GridTopo, *runs, *seed, *workers) },
-			func() error { return figGroupSweep(mtmrp.RandomTopo, *runs, *seed, *workers) },
-			func() error { return figTuning(mtmrp.GridTopo, *runs, *seed, *workers) },
-			func() error { return figTuning(mtmrp.RandomTopo, *runs, *seed, *workers) },
+			func() error { return figGroupSweep(mtmrp.GridTopo, *runs, *seed) },
+			func() error { return figGroupSweep(mtmrp.RandomTopo, *runs, *seed) },
+			func() error { return figTuning(mtmrp.GridTopo, *runs, *seed) },
+			func() error { return figTuning(mtmrp.RandomTopo, *runs, *seed) },
 			func() error { return figSnapshot(mtmrp.GridTopo, 20, *seed) },
 			func() error { return figSnapshot(mtmrp.RandomTopo, 15, *seed) },
-			func() error { return figAblation(*runs, *seed, *workers) },
+			func() error { return figAblation(*runs, *seed) },
 			func() error { return figAmortize(*runs, *seed) },
 			func() error { return figShadowing(*runs, *seed) },
 		} {
@@ -96,11 +115,58 @@ func main() {
 	fmt.Printf("\n[done in %v]\n", time.Since(start).Round(time.Millisecond))
 }
 
+// runCtx cancels sweeps on SIGINT/SIGTERM or -timeout.
+var runCtx context.Context
+
+// workersFlag is the -workers value, shared by every sweep.
+var workersFlag int
+
 // csvOut, when non-empty, is the directory CSV series are written into.
 var csvOut string
 
 // withGMR adds the geographic baseline to the group-size sweeps.
 var withGMR bool
+
+// engine builds the sweep options every figure shares: the signal-aware
+// context, the -workers pool size, and a throttled progress meter.
+func engine() mtmrp.EngineOptions {
+	var last time.Time
+	return mtmrp.EngineOptions{
+		Workers: workersFlag,
+		Ctx:     runCtx,
+		Progress: func(p mtmrp.Progress) {
+			now := time.Now()
+			if p.Done < p.Total && now.Sub(last) < 500*time.Millisecond {
+				return
+			}
+			last = now
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs  elapsed %v  eta %v   ",
+				p.Done, p.Total,
+				p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		},
+	}
+}
+
+// interrupted reports a cancelled-but-usable sweep and tells the reader
+// the tables below are partial. Any other error aborts the figure.
+func interrupted(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+func notePartial(st mtmrp.SweepStats) {
+	fmt.Printf("  [interrupted: %d of %d runs done, %d skipped — tables below are partial]\n",
+		st.Completed, st.Total, st.Skipped)
+}
+
+// printStats summarises the engine's accounting for one sweep.
+func printStats(st mtmrp.SweepStats) {
+	fmt.Printf("[engine] %d runs on %d workers in %v (%.1f ms/run, %.0f events/run)\n",
+		st.Completed, st.Workers, st.Wall.Round(time.Millisecond),
+		1e3*st.RunWall.Mean, st.RunEvents.Mean)
+}
 
 // writeCSV writes rows (first row = header) to <csvDir>/<name>.csv.
 func writeCSV(name string, rows [][]string) error {
@@ -156,7 +222,7 @@ func fig1() error {
 	return nil
 }
 
-func figGroupSweep(kind mtmrp.TopoKind, runs int, seed uint64, workers int) error {
+func figGroupSweep(kind mtmrp.TopoKind, runs int, seed uint64) error {
 	figNo := 5
 	if kind == mtmrp.RandomTopo {
 		figNo = 6
@@ -168,10 +234,14 @@ func figGroupSweep(kind mtmrp.TopoKind, runs int, seed uint64, workers int) erro
 		protos = append(append([]mtmrp.Protocol(nil), protos...), mtmrp.GMR)
 	}
 	res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
-		Topo: kind, Runs: runs, Seed: seed, Workers: workers, Protocols: protos,
+		Topo: kind, Runs: runs, Seed: seed, Protocols: protos,
+		Engine: engine(),
 	})
-	if err != nil {
+	if res == nil {
 		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
 	}
 	sizes := res.Config.Sizes
 	metrics := []struct {
@@ -210,11 +280,12 @@ func figGroupSweep(kind mtmrp.TopoKind, runs int, seed uint64, workers int) erro
 			return err
 		}
 	}
+	printStats(res.Stats)
 	fmt.Println()
-	return nil
+	return err
 }
 
-func figTuning(kind mtmrp.TopoKind, runs int, seed uint64, workers int) error {
+func figTuning(kind mtmrp.TopoKind, runs int, seed uint64) error {
 	figNo, size := 7, 20
 	if kind == mtmrp.RandomTopo {
 		figNo, size = 8, 15
@@ -222,10 +293,14 @@ func figTuning(kind mtmrp.TopoKind, runs int, seed uint64, workers int) error {
 	fmt.Printf("=== Figure %d: tuning N and delta, %s topology, %d receivers (%d runs/point) ===\n",
 		figNo, kind, size, runs)
 	res, err := mtmrp.TuningSweep(mtmrp.TuningConfig{
-		Topo: kind, GroupSize: size, Runs: runs, Seed: seed, Workers: workers,
+		Topo: kind, GroupSize: size, Runs: runs, Seed: seed,
+		Engine: engine(),
 	})
-	if err != nil {
+	if res == nil {
 		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
 	}
 	for _, p := range res.Config.Protocols {
 		fmt.Printf("\n--- %s: normalized transmission overhead ---\n", p)
@@ -251,8 +326,9 @@ func figTuning(kind mtmrp.TopoKind, runs int, seed uint64, workers int) error {
 			return err
 		}
 	}
+	printStats(res.Stats)
 	fmt.Println()
-	return nil
+	return err
 }
 
 // sanitize turns a protocol legend into a file-name fragment.
@@ -271,13 +347,17 @@ func sanitize(s string) string {
 
 // figAblation is this repository's extension study: MTMRP with each
 // mechanism removed in turn (the paper only ablates PHS).
-func figAblation(runs int, seed uint64, workers int) error {
+func figAblation(runs int, seed uint64) error {
 	fmt.Printf("=== Extension: MTMRP mechanism ablation, grid, 20 receivers (%d runs) ===\n\n", runs)
 	res, err := mtmrp.AblationSweep(mtmrp.AblationConfig{
-		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed, Workers: workers,
+		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+		Engine: engine(),
 	})
-	if err != nil {
+	if res == nil {
 		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
 	}
 	fmt.Printf("%-22s %18s %14s %12s\n", "variant", "transmissions", "extra nodes", "delivery")
 	for _, v := range res.Variants {
@@ -288,23 +368,25 @@ func figAblation(runs int, seed uint64, workers int) error {
 			row[mtmrp.MetricExtraNodes].Mean,
 			row[mtmrp.MetricDelivery].Mean)
 	}
+	printStats(res.Stats)
 	fmt.Println()
-	return nil
+	return err
 }
 
 // figAmortize is this repository's second extension study: how the
 // one-time discovery cost amortises over data packets (§V.B.3's
 // trade-off).
 func figAmortize(runs int, seed uint64) error {
-	if runs > 20 {
-		runs = 20 // serial driver; 20 rounds give tight CIs already
-	}
 	fmt.Printf("=== Extension: discovery-cost amortization, grid, 20 receivers (%d runs) ===\n\n", runs)
 	res, err := mtmrp.AmortizeSweep(mtmrp.AmortizeConfig{
 		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+		Engine: engine(),
 	})
-	if err != nil {
+	if res == nil {
 		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
 	}
 	fmt.Printf("%10s", "packets")
 	for _, p := range res.Config.Protocols {
@@ -324,22 +406,24 @@ func figAmortize(runs int, seed uint64) error {
 		}
 		fmt.Println()
 	}
+	printStats(res.Stats)
 	fmt.Println()
-	return nil
+	return err
 }
 
 // figShadowing is this repository's third extension study: the Figure 5
 // comparison point under log-normal fading (the paper disables shadowing).
 func figShadowing(runs int, seed uint64) error {
-	if runs > 30 {
-		runs = 30 // serial driver
-	}
 	fmt.Printf("=== Extension: log-normal shadowing robustness, grid, 20 receivers (%d runs) ===\n\n", runs)
 	res, err := mtmrp.ShadowingSweep(mtmrp.ShadowingConfig{
 		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+		Engine: engine(),
 	})
-	if err != nil {
+	if res == nil {
 		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
 	}
 	fmt.Printf("%10s", "sigma dB")
 	for _, p := range res.Config.Protocols {
@@ -358,8 +442,9 @@ func figShadowing(runs int, seed uint64) error {
 		}
 		fmt.Println()
 	}
+	printStats(res.Stats)
 	fmt.Println()
-	return nil
+	return err
 }
 
 func figSnapshot(kind mtmrp.TopoKind, size int, seed uint64) error {

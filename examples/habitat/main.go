@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mtmrp"
 )
@@ -28,10 +29,19 @@ func main() {
 		Sizes: []int{sinks},
 		Runs:  runs,
 		Seed:  2024,
+		// The sweep runs on the deterministic worker pool; a progress
+		// callback watches it go by.
+		Engine: mtmrp.EngineOptions{
+			Progress: func(p mtmrp.Progress) {
+				fmt.Fprintf(os.Stderr, "\rround %d/%d ", p.Done, p.Total)
+			},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "\rdone: %d rounds on %d workers in %v\n\n",
+		res.Stats.Completed, res.Stats.Workers, res.Stats.Wall)
 
 	fmt.Printf("%-16s %22s %16s %15s\n",
 		"protocol", "transmissions (±CI95)", "extra nodes", "relay profit")

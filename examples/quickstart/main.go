@@ -1,5 +1,5 @@
 // Quickstart: build the paper's 10x10 grid, pick 20 multicast receivers,
-// run one MTMRP session and print its metrics.
+// drive one MTMRP session phase by phase and print its metrics.
 //
 //	go run ./examples/quickstart
 package main
@@ -22,10 +22,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One full session: HELLO beacons build neighbor tables, the source
-	// floods a JoinQuery, JoinReplys race back along the biased-backoff
-	// winners, and a data packet flows down the constructed tree.
-	out, err := mtmrp.Run(mtmrp.Scenario{
+	// A session runs in three phases. mtmrp.Run does all of them in one
+	// call; the Session API below drives them individually, which is
+	// useful for sending several data packets down one tree or refreshing
+	// the tree mid-session.
+	s, err := mtmrp.NewSession(mtmrp.Scenario{
 		Topo:      topo,
 		Source:    0,
 		Receivers: receivers,
@@ -36,9 +37,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r := out.Result
-	fmt.Println("MTMRP on the paper's grid, 20 receivers:")
-	fmt.Printf("  transmissions to deliver one packet: %d\n", r.Transmissions)
+	// Phase 1: HELLO beacons build every node's neighbor table.
+	s.RunHello()
+	fmt.Printf("hello phase done (%d simulator events)\n", s.Events())
+
+	// Phase 2: the source floods a JoinQuery; JoinReplys race back along
+	// the biased-backoff winners, constructing the multicast tree.
+	s.RunDiscovery(0)
+	fmt.Printf("tree constructed (%d events total)\n", s.Events())
+
+	// Phase 3: data flows down the tree — here three packets, amortising
+	// the discovery cost.
+	if err := s.RunData(3); err != nil {
+		log.Fatal(err)
+	}
+
+	r := s.Metrics()
+	fmt.Println("\nMTMRP on the paper's grid, 20 receivers, 3 data packets:")
+	fmt.Printf("  transmission overhead:               %d\n", r.Transmissions)
 	fmt.Printf("  extra (non-member) forwarders:       %d\n", r.ExtraNodes)
 	fmt.Printf("  average relay profit:                %.2f\n", r.AvgRelayProfit)
 	fmt.Printf("  receivers reached:                   %d/%d\n", r.ReceiversReached, r.ReceiverCount)
@@ -48,14 +64,15 @@ func main() {
 
 	// Compare against naive flooding — the baseline from the paper's
 	// introduction that motivates multicast trees in the first place.
+	// mtmrp.Run is the one-shot form of the same phases.
 	fl, err := mtmrp.Run(mtmrp.Scenario{
 		Topo: topo, Source: 0, Receivers: receivers,
-		Protocol: mtmrp.Flooding, Seed: 1,
+		Protocol: mtmrp.Flooding, Seed: 1, DataPackets: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nFlooding needs %d transmissions for the same delivery — MTMRP saves %.0f%%.\n",
+	fmt.Printf("\nFlooding needs %d transmissions for the same packets — MTMRP saves %.0f%%.\n",
 		fl.Result.Transmissions,
 		100*(1-float64(r.Transmissions)/float64(fl.Result.Transmissions)))
 }

@@ -1,20 +1,19 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mtmrp/internal/core"
+	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/proto"
-	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
 	"mtmrp/internal/stats"
 )
 
 // AblationVariant is one MTMRP configuration in the ablation study: the
 // full protocol with exactly one mechanism removed (plus the full and
-// fully-stripped endpoints). DESIGN.md §8 calls this study out; the paper
+// fully-stripped endpoints). DESIGN.md §9 calls this study out; the paper
 // itself only ablates PHS (its "MTMRP w/o PHS" curves).
 type AblationVariant struct {
 	Name   string
@@ -68,7 +67,11 @@ type AblationConfig struct {
 	Seed      uint64
 	N         int
 	Delta     sim.Time
-	Workers   int
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers.
+	Workers int
 }
 
 // AblationResult maps variant name -> per-metric summaries.
@@ -76,10 +79,13 @@ type AblationResult struct {
 	Config   AblationConfig
 	Variants []AblationVariant
 	Summary  map[string][]stats.Summary // [variant][metric]
+	Stats    sweep.Stats
 }
 
 // AblationSweep measures each mechanism's contribution to MTMRP's
-// transmission savings on the given workload.
+// transmission savings on the given workload. One engine job is one
+// Monte-Carlo round across all variants, on a shared topology and
+// receiver draw.
 func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 100
@@ -93,89 +99,62 @@ func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
 	if cfg.Delta == 0 {
 		cfg.Delta = sim.Millisecond
 	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
+	}
 	variants := AblationVariants(cfg.N, cfg.Delta)
+
+	label := func(i int) string {
+		return fmt.Sprintf("ablation-%s-%d-%d", cfg.Topo, cfg.GroupSize, i)
+	}
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), cfg.Runs, label,
+		func(_ context.Context, job *sweep.Job) ([][NumMetrics]float64, error) {
+			round := job.RNG
+			topo, err := buildTopo(cfg.Topo, round)
+			if err != nil {
+				return nil, err
+			}
+			rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+			if err != nil {
+				return nil, err
+			}
+			values := make([][NumMetrics]float64, len(variants))
+			for vi, v := range variants {
+				vc := v.Config
+				out, err := Run(Scenario{
+					Topo: topo, Source: 0, Receivers: rcv,
+					Protocol: MTMRP, Core: &vc,
+					Seed: round.Derive("run").Uint64(),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", v.Name, err)
+				}
+				job.AddEvents(out.Net.Sim.Processed())
+				values[vi] = metricsVector(out.Result)
+			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
 
 	acc := make(map[string][]stats.Accumulator, len(variants))
 	for _, v := range variants {
 		acc[v.Name] = make([]stats.Accumulator, NumMetrics)
 	}
-
-	type outcome struct {
-		name   string
-		values [NumMetrics]float64
-		err    error
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobs := make(chan int, workers)
-	outs := make(chan outcome, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range jobs {
-				round := rng.New(cfg.Seed).Derive(
-					fmt.Sprintf("ablation-%s-%d-%d", cfg.Topo, cfg.GroupSize, run))
-				topo, err := buildTopo(cfg.Topo, round)
-				if err != nil {
-					outs <- outcome{err: err}
-					continue
-				}
-				rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
-				if err != nil {
-					outs <- outcome{err: err}
-					continue
-				}
-				for _, v := range variants {
-					vc := v.Config
-					out, err := Run(Scenario{
-						Topo: topo, Source: 0, Receivers: rcv,
-						Protocol: MTMRP, Core: &vc,
-						Seed: round.Derive("run").Uint64(),
-					})
-					if err != nil {
-						outs <- outcome{name: v.Name, err: err}
-						continue
-					}
-					r := out.Result
-					outs <- outcome{name: v.Name, values: [NumMetrics]float64{
-						float64(r.Transmissions),
-						float64(r.ExtraNodes),
-						r.AvgRelayProfit,
-						r.DeliveryRatio,
-					}}
-				}
-			}
-		}()
-	}
-	go func() {
-		for run := 0; run < cfg.Runs; run++ {
-			jobs <- run
-		}
-		close(jobs)
-		wg.Wait()
-		close(outs)
-	}()
-	var firstErr error
-	for o := range outs {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
+	for _, o := range outs {
+		if o.Err != nil {
 			continue
 		}
-		for m := 0; m < int(NumMetrics); m++ {
-			acc[o.name][m].Add(o.values[m])
+		for vi, v := range variants {
+			for m := 0; m < int(NumMetrics); m++ {
+				acc[v.Name][m].Add(o.Value[vi][m])
+			}
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
+
 	res := &AblationResult{Config: cfg, Variants: variants,
-		Summary: make(map[string][]stats.Summary, len(variants))}
+		Summary: make(map[string][]stats.Summary, len(variants)), Stats: st}
 	for _, v := range variants {
 		row := make([]stats.Summary, NumMetrics)
 		for m := range row {
@@ -183,5 +162,5 @@ func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
 		}
 		res.Summary[v.Name] = row
 	}
-	return res, nil
+	return res, err
 }

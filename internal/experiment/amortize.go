@@ -1,9 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
-	"mtmrp/internal/rng"
+	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/stats"
 )
 
@@ -23,6 +24,11 @@ type AmortizeConfig struct {
 	Runs      int
 	Seed      uint64
 	Protocols []Protocol
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers.
+	Workers int
 }
 
 // AmortizePoint is the per-(protocol, packet-count) outcome.
@@ -37,10 +43,11 @@ type AmortizePoint struct {
 type AmortizeResult struct {
 	Config AmortizeConfig
 	Points map[Protocol][]AmortizePoint // [protocol][packetIdx]
+	Stats  sweep.Stats
 }
 
-// AmortizeSweep runs the study serially (it is small: a handful of
-// points).
+// AmortizeSweep runs the study on the shared sweep engine (it ran
+// serially before the engine existed).
 func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
 	if len(cfg.Protocols) == 0 {
 		cfg.Protocols = []Protocol{MTMRP, ODMRP, Flooding}
@@ -54,20 +61,23 @@ func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
 	if cfg.GroupSize == 0 {
 		cfg.GroupSize = 20
 	}
-	res := &AmortizeResult{Config: cfg, Points: make(map[Protocol][]AmortizePoint)}
-	for _, p := range cfg.Protocols {
-		res.Points[p] = make([]AmortizePoint, len(cfg.Packets))
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
 	}
-	for pi, packets := range cfg.Packets {
-		accTotal := make(map[Protocol]*stats.Accumulator)
-		accData := make(map[Protocol]*stats.Accumulator)
-		for _, p := range cfg.Protocols {
-			accTotal[p] = &stats.Accumulator{}
-			accData[p] = &stats.Accumulator{}
-		}
-		for run := 0; run < cfg.Runs; run++ {
-			round := rng.New(cfg.Seed).Derive(
-				fmt.Sprintf("amortize-%s-%d-%d", cfg.Topo, packets, run))
+
+	protos := cfg.Protocols
+	// Run-major job order (see GroupSizeSweep): a cancelled sweep keeps
+	// partial data at every packet count. Labels depend only on
+	// (packet count, run).
+	total := len(cfg.Packets) * cfg.Runs
+	label := func(i int) string {
+		return fmt.Sprintf("amortize-%s-%d-%d", cfg.Topo, cfg.Packets[i%len(cfg.Packets)], i/len(cfg.Packets))
+	}
+	// values[pi] = {frames per packet, data frames per packet}.
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,
+		func(_ context.Context, job *sweep.Job) ([][2]float64, error) {
+			packets := cfg.Packets[job.Index%len(cfg.Packets)]
+			round := job.RNG
 			topo, err := buildTopo(cfg.Topo, round)
 			if err != nil {
 				return nil, err
@@ -76,26 +86,55 @@ func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, p := range cfg.Protocols {
+			values := make([][2]float64, len(protos))
+			for pi, p := range protos {
 				out, err := Run(Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					DataPackets: packets,
 					Seed:        round.Derive("run").Uint64(),
 				})
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("%v: %w", p, err)
 				}
+				job.AddEvents(out.Net.Sim.Processed())
 				r := out.Result
-				accTotal[p].Add(float64(r.ControlTx+r.DataTxTotal) / float64(packets))
-				accData[p].Add(float64(r.DataTxTotal) / float64(packets))
+				values[pi] = [2]float64{
+					float64(r.ControlTx+r.DataTxTotal) / float64(packets),
+					float64(r.DataTxTotal) / float64(packets),
+				}
 			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
+
+	accTotal := make([][]stats.Accumulator, len(cfg.Packets))
+	accData := make([][]stats.Accumulator, len(cfg.Packets))
+	for pi := range cfg.Packets {
+		accTotal[pi] = make([]stats.Accumulator, len(protos))
+		accData[pi] = make([]stats.Accumulator, len(protos))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			continue
 		}
-		for _, p := range cfg.Protocols {
-			res.Points[p][pi] = AmortizePoint{
-				FramesPerPacket: accTotal[p].Summary(),
-				DataPerPacket:   accData[p].Summary(),
+		pktIdx := i % len(cfg.Packets)
+		for pi := range protos {
+			accTotal[pktIdx][pi].Add(o.Value[pi][0])
+			accData[pktIdx][pi].Add(o.Value[pi][1])
+		}
+	}
+
+	res := &AmortizeResult{Config: cfg, Points: make(map[Protocol][]AmortizePoint), Stats: st}
+	for pi, p := range protos {
+		res.Points[p] = make([]AmortizePoint, len(cfg.Packets))
+		for pktIdx := range cfg.Packets {
+			res.Points[p][pktIdx] = AmortizePoint{
+				FramesPerPacket: accTotal[pktIdx][pi].Summary(),
+				DataPerPacket:   accData[pktIdx][pi].Summary(),
 			}
 		}
 	}
-	return res, nil
+	return res, err
 }

@@ -1,10 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"mtmrp/internal/experiment/sweep"
+	"mtmrp/internal/metrics"
 	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
 	"mtmrp/internal/stats"
@@ -67,6 +68,43 @@ func (m Metric) String() string {
 	}
 }
 
+// EngineOptions are the execution knobs every sweep driver shares; they
+// configure the sweep engine, not the experiment. The zero value runs on
+// all cores, without cancellation, failing fast on the first error.
+type EngineOptions struct {
+	// Workers is the parallel worker count (0 = GOMAXPROCS). Results are
+	// bit-identical for any value.
+	Workers int
+	// Ctx cancels the sweep early (SIGINT, timeout); completed rounds
+	// still fold into the returned partial result.
+	Ctx context.Context
+	// Progress, when non-nil, observes runs completing (with an ETA).
+	Progress sweep.ProgressFunc
+	// ErrorPolicy selects fail-fast (default) or collect-and-report.
+	ErrorPolicy sweep.ErrorPolicy
+}
+
+// engineConfig assembles the engine configuration for a driver.
+func engineConfig(seed uint64, opts EngineOptions) sweep.Config {
+	return sweep.Config{
+		Seed:        seed,
+		Workers:     opts.Workers,
+		Context:     opts.Ctx,
+		ErrorPolicy: opts.ErrorPolicy,
+		Progress:    opts.Progress,
+	}
+}
+
+// metricsVector extracts the Figure 5/6 metric vector from one run.
+func metricsVector(r metrics.Result) [NumMetrics]float64 {
+	return [NumMetrics]float64{
+		float64(r.Transmissions),
+		float64(r.ExtraNodes),
+		r.AvgRelayProfit,
+		r.DeliveryRatio,
+	}
+}
+
 // SweepConfig parameterises a group-size sweep (Figures 5 and 6).
 type SweepConfig struct {
 	Topo      TopoKind
@@ -76,7 +114,13 @@ type SweepConfig struct {
 	Protocols []Protocol
 	N         int      // biased-backoff N (default 4)
 	Delta     sim.Time // slot unit δ (default 1 ms)
-	Workers   int      // parallel workers; 0 = GOMAXPROCS
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers (kept because
+	// every pre-engine caller set it directly); Engine.Workers wins when
+	// both are set.
+	Workers int
 }
 
 // PaperSizes returns the group sizes of Figures 5–6: 5,10,...,60.
@@ -92,6 +136,7 @@ func PaperSizes() []int {
 type SweepResult struct {
 	Config  SweepConfig
 	Summary map[Protocol][][]stats.Summary // [protocol][sizeIdx][metric]
+	Stats   sweep.Stats                    // what the engine actually ran
 }
 
 // Cell returns the summary for (protocol p, size index si, metric m).
@@ -102,7 +147,12 @@ func (r *SweepResult) Cell(p Protocol, si int, m Metric) stats.Summary {
 // GroupSizeSweep runs the Monte-Carlo sweep behind Figure 5 (grid) or
 // Figure 6 (random). Rounds are paired: within a round, every protocol
 // sees the identical topology and receiver draw, which removes placement
-// variance from the comparison.
+// variance from the comparison. One engine job is one round (all
+// protocols), so a failed round drops symmetrically from every curve.
+//
+// On cancellation (or under CollectErrors) the partial result is returned
+// alongside the error; sweep.PartialOK distinguishes that from a
+// fail-fast abort, where the result is nil.
 func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
 	if len(cfg.Protocols) == 0 {
 		cfg.Protocols = AllProtocols
@@ -119,105 +169,75 @@ func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
 	if cfg.Delta == 0 {
 		cfg.Delta = sim.Millisecond
 	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
+	}
 
-	res := &SweepResult{Config: cfg, Summary: make(map[Protocol][][]stats.Summary)}
+	protos := cfg.Protocols
+	total := len(cfg.Sizes) * cfg.Runs
+	// Jobs are ordered run-major (round 0 over every size, then round 1,
+	// ...) so a cancelled sweep leaves partial data in every cell instead
+	// of exhausting one size at a time. The label — and therefore a
+	// round's RNG stream — depends only on (size, run), not on ordering.
+	label := func(i int) string {
+		return fmt.Sprintf("round-%s-%d-%d", cfg.Topo, cfg.Sizes[i%len(cfg.Sizes)], i/len(cfg.Sizes))
+	}
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,
+		func(_ context.Context, job *sweep.Job) ([][NumMetrics]float64, error) {
+			size := cfg.Sizes[job.Index%len(cfg.Sizes)]
+			round := job.RNG
+			topo, err := buildTopo(cfg.Topo, round)
+			if err != nil {
+				return nil, err
+			}
+			rcv, err := topo.PickReceivers(0, size, round.Derive("receivers"))
+			if err != nil {
+				return nil, err
+			}
+			values := make([][NumMetrics]float64, len(protos))
+			for pi, p := range protos {
+				out, err := Run(Scenario{
+					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+					N: cfg.N, Delta: cfg.Delta,
+					Seed: round.Derive("run").Uint64(),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%v: %w", p, err)
+				}
+				job.AddEvents(out.Net.Sim.Processed())
+				values[pi] = metricsVector(out.Result)
+			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
+
 	acc := make(map[Protocol][][]stats.Accumulator)
-	for _, p := range cfg.Protocols {
+	for _, p := range protos {
 		acc[p] = make([][]stats.Accumulator, len(cfg.Sizes))
 		for i := range acc[p] {
 			acc[p][i] = make([]stats.Accumulator, NumMetrics)
 		}
 	}
-
-	type job struct {
-		sizeIdx, run int
-	}
-	type outcome struct {
-		sizeIdx int
-		proto   Protocol
-		values  [NumMetrics]float64
-		err     error
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobs := make(chan job, workers)
-	outs := make(chan outcome, workers)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				size := cfg.Sizes[j.sizeIdx]
-				round := rng.New(cfg.Seed).Derive(
-					fmt.Sprintf("round-%s-%d-%d", cfg.Topo, size, j.run))
-				topo, err := buildTopo(cfg.Topo, round)
-				if err != nil {
-					outs <- outcome{sizeIdx: j.sizeIdx, err: err}
-					continue
-				}
-				rcv, err := topo.PickReceivers(0, size, round.Derive("receivers"))
-				if err != nil {
-					outs <- outcome{sizeIdx: j.sizeIdx, err: err}
-					continue
-				}
-				for _, p := range cfg.Protocols {
-					out, err := Run(Scenario{
-						Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
-						N: cfg.N, Delta: cfg.Delta,
-						Seed: round.Derive("run").Uint64(),
-					})
-					if err != nil {
-						outs <- outcome{sizeIdx: j.sizeIdx, proto: p, err: err}
-						continue
-					}
-					r := out.Result
-					outs <- outcome{
-						sizeIdx: j.sizeIdx,
-						proto:   p,
-						values: [NumMetrics]float64{
-							float64(r.Transmissions),
-							float64(r.ExtraNodes),
-							r.AvgRelayProfit,
-							r.DeliveryRatio,
-						},
-					}
-				}
-			}
-		}()
-	}
-	go func() {
-		for si := range cfg.Sizes {
-			for run := 0; run < cfg.Runs; run++ {
-				jobs <- job{sizeIdx: si, run: run}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(outs)
-	}()
-
-	var firstErr error
-	for o := range outs {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
+	// Fold in job order: Welford accumulation is order-sensitive, and
+	// index order is the one order every worker count agrees on. Under
+	// run-major ordering each cell still sees its rounds in ascending run
+	// order, so summaries are bit-identical to a serial per-size loop.
+	for i, o := range outs {
+		if o.Err != nil {
 			continue
 		}
-		for m := 0; m < int(NumMetrics); m++ {
-			acc[o.proto][o.sizeIdx][m].Add(o.values[m])
+		si := i % len(cfg.Sizes)
+		for pi, p := range protos {
+			for m := 0; m < int(NumMetrics); m++ {
+				acc[p][si][m].Add(o.Value[pi][m])
+			}
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
 
-	for _, p := range cfg.Protocols {
+	res := &SweepResult{Config: cfg, Summary: make(map[Protocol][][]stats.Summary), Stats: st}
+	for _, p := range protos {
 		res.Summary[p] = make([][]stats.Summary, len(cfg.Sizes))
 		for si := range cfg.Sizes {
 			row := make([]stats.Summary, NumMetrics)
@@ -227,7 +247,7 @@ func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
 			res.Summary[p][si] = row
 		}
 	}
-	return res, nil
+	return res, err
 }
 
 // TuningConfig parameterises the N x δ sweep of Figures 7–8.
@@ -239,7 +259,11 @@ type TuningConfig struct {
 	Runs      int
 	Seed      uint64
 	Protocols []Protocol
-	Workers   int
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers.
+	Workers int
 }
 
 // PaperNs returns the N axis of Figures 7–8.
@@ -260,9 +284,13 @@ func PaperDeltas() []sim.Time {
 type TuningResult struct {
 	Config  TuningConfig
 	Surface map[Protocol][][]stats.Summary
+	Stats   sweep.Stats
 }
 
-// TuningSweep runs the parameter study behind Figures 7–8.
+// TuningSweep runs the parameter study behind Figures 7–8. Every (N, δ)
+// cell of the same run index shares one label — and therefore one
+// topology and receiver draw — so the surface isolates the backoff
+// parameters from placement noise.
 func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 	if len(cfg.Protocols) == 0 {
 		cfg.Protocols = AllProtocols
@@ -283,89 +311,72 @@ func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 			cfg.GroupSize = 15
 		}
 	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
+	}
 
-	res := &TuningResult{Config: cfg, Surface: make(map[Protocol][][]stats.Summary)}
+	protos := cfg.Protocols
+	// Run-major job order: round r covers every (N, δ) cell before round
+	// r+1 starts, so cancellation leaves partial data across the whole
+	// surface. The label depends only on the run index — every cell of a
+	// round shares one topology and receiver draw.
+	cells := len(cfg.Ns) * len(cfg.Deltas)
+	total := cells * cfg.Runs
+	label := func(i int) string {
+		return fmt.Sprintf("tuning-%s-%d-%d", cfg.Topo, cfg.GroupSize, i/cells)
+	}
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,
+		func(_ context.Context, job *sweep.Job) ([]float64, error) {
+			ni := (job.Index % cells) / len(cfg.Deltas)
+			di := job.Index % len(cfg.Deltas)
+			round := job.RNG
+			topo, err := buildTopo(cfg.Topo, round)
+			if err != nil {
+				return nil, err
+			}
+			rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+			if err != nil {
+				return nil, err
+			}
+			values := make([]float64, len(protos))
+			for pi, p := range protos {
+				out, err := Run(Scenario{
+					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+					N: cfg.Ns[ni], Delta: cfg.Deltas[di],
+					Seed: round.Derive("run").Uint64(),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%v: %w", p, err)
+				}
+				job.AddEvents(out.Net.Sim.Processed())
+				values[pi] = float64(out.Result.Transmissions)
+			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
+
 	acc := make(map[Protocol][][]stats.Accumulator)
-	for _, p := range cfg.Protocols {
+	for _, p := range protos {
 		acc[p] = make([][]stats.Accumulator, len(cfg.Ns))
 		for i := range acc[p] {
 			acc[p][i] = make([]stats.Accumulator, len(cfg.Deltas))
 		}
 	}
-
-	type job struct{ ni, di, run int }
-	type outcome struct {
-		ni, di int
-		proto  Protocol
-		value  float64
-		err    error
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobs := make(chan job, workers)
-	outs := make(chan outcome, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				round := rng.New(cfg.Seed).Derive(
-					fmt.Sprintf("tuning-%s-%d-%d", cfg.Topo, cfg.GroupSize, j.run))
-				topo, err := buildTopo(cfg.Topo, round)
-				if err != nil {
-					outs <- outcome{ni: j.ni, di: j.di, err: err}
-					continue
-				}
-				rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
-				if err != nil {
-					outs <- outcome{ni: j.ni, di: j.di, err: err}
-					continue
-				}
-				for _, p := range cfg.Protocols {
-					out, err := Run(Scenario{
-						Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
-						N: cfg.Ns[j.ni], Delta: cfg.Deltas[j.di],
-						Seed: round.Derive("run").Uint64(),
-					})
-					if err != nil {
-						outs <- outcome{ni: j.ni, di: j.di, proto: p, err: err}
-						continue
-					}
-					outs <- outcome{ni: j.ni, di: j.di, proto: p,
-						value: float64(out.Result.Transmissions)}
-				}
-			}
-		}()
-	}
-	go func() {
-		for ni := range cfg.Ns {
-			for di := range cfg.Deltas {
-				for run := 0; run < cfg.Runs; run++ {
-					jobs <- job{ni: ni, di: di, run: run}
-				}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(outs)
-	}()
-	var firstErr error
-	for o := range outs {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-			}
+	for i, o := range outs {
+		if o.Err != nil {
 			continue
 		}
-		acc[o.proto][o.ni][o.di].Add(o.value)
+		ni := (i % cells) / len(cfg.Deltas)
+		di := i % len(cfg.Deltas)
+		for pi, p := range protos {
+			acc[p][ni][di].Add(o.Value[pi])
+		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for _, p := range cfg.Protocols {
+
+	res := &TuningResult{Config: cfg, Surface: make(map[Protocol][][]stats.Summary), Stats: st}
+	for _, p := range protos {
 		res.Surface[p] = make([][]stats.Summary, len(cfg.Ns))
 		for ni := range cfg.Ns {
 			row := make([]stats.Summary, len(cfg.Deltas))
@@ -375,7 +386,7 @@ func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 			res.Surface[p][ni] = row
 		}
 	}
-	return res, nil
+	return res, err
 }
 
 // SnapshotRun reproduces one panel of Figures 9–10: a single session on a

@@ -12,7 +12,6 @@ import (
 
 	"mtmrp/internal/core"
 	"mtmrp/internal/dodmrp"
-	"mtmrp/internal/energy"
 	"mtmrp/internal/flood"
 	"mtmrp/internal/gmr"
 	"mtmrp/internal/metrics"
@@ -24,7 +23,6 @@ import (
 	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
 	"mtmrp/internal/topology"
-	"mtmrp/internal/trace"
 )
 
 // Protocol selects the routing protocol under test.
@@ -134,105 +132,21 @@ type Outcome struct {
 	Scenario Scenario
 }
 
-// Run executes one complete session and returns its metrics.
+// Run executes one complete session — HELLO, discovery with refresh
+// rounds, data packets — and returns its metrics. It is a thin wrapper
+// over the phased Session API; studies that interleave phases use
+// NewSession directly.
 func Run(sc Scenario) (*Outcome, error) {
-	if len(sc.Receivers) == 0 {
-		return nil, ErrNoReceivers
+	s, err := NewSession(sc)
+	if err != nil {
+		return nil, err
 	}
-	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
-		return nil, ErrBadSource
+	s.RunHello()
+	s.RunDiscovery(sc.DiscoveryRounds)
+	if err := s.RunData(sc.DataPackets); err != nil {
+		return nil, err
 	}
-	if sc.N == 0 {
-		sc.N = 4
-	}
-	if sc.Delta == 0 {
-		sc.Delta = sim.Millisecond
-	}
-	if sc.PayloadLen == 0 {
-		sc.PayloadLen = 64
-	}
-
-	cfg := network.DefaultConfig(sc.Seed)
-	cfg.Radio = radioFor(sc.Topo)
-	cfg.MAC = sc.MAC
-	cfg.DisableCollisions = sc.DisableCollisions
-	cfg.ShadowingSigmaDB = sc.ShadowingSigmaDB
-	net := network.New(sc.Topo, cfg)
-
-	pcfg := proto.DefaultConfig()
-	if sc.Proto != nil {
-		pcfg = *sc.Proto
-	}
-
-	routers := make([]proto.Router, sc.Topo.N())
-	for i := 0; i < sc.Topo.N(); i++ {
-		routers[i] = buildRouter(sc, pcfg)
-		net.SetProtocol(i, routers[i])
-	}
-
-	const group packet.GroupID = 1
-	for _, r := range sc.Receivers {
-		net.Nodes[r].JoinGroup(group)
-	}
-	// Geographic multicast assumes the source knows its receivers.
-	if src, ok := routers[sc.Source].(interface {
-		SetDestinations([]packet.NodeID)
-	}); ok {
-		dests := make([]packet.NodeID, len(sc.Receivers))
-		for i, r := range sc.Receivers {
-			dests[i] = packet.NodeID(r)
-		}
-		src.SetDestinations(dests)
-	}
-
-	col := metrics.NewCollector(net, packet.NodeID(sc.Source), group, sc.Receivers)
-	meter := energy.NewMeter(sc.Topo, cfg.Radio, energy.DefaultModel())
-	meter.Attach(net)
-	var logger *trace.Logger
-	if sc.TraceWriter != nil {
-		logger = trace.NewLogger(sc.TraceWriter)
-		logger.Attach(net)
-	}
-
-	// Phase 1: HELLO exchange. Run drains the queue: all beacons are
-	// scheduled up front and finite.
-	net.Start()
-	net.Run()
-
-	// Phase 2: route discovery, with refresh rounds.
-	rounds := sc.DiscoveryRounds
-	if rounds <= 0 {
-		rounds = 2
-	}
-	var key packet.FloodKey
-	for i := 0; i < rounds; i++ {
-		key = routers[sc.Source].FloodQuery(group)
-		net.Run()
-	}
-
-	// Phase 3: data packets down the tree.
-	packets := sc.DataPackets
-	if packets <= 0 {
-		packets = 1
-	}
-	for i := 0; i < packets; i++ {
-		routers[sc.Source].SendData(key, sc.PayloadLen)
-		net.Run()
-	}
-
-	if logger != nil && logger.Err() != nil {
-		return nil, fmt.Errorf("experiment: trace log: %w", logger.Err())
-	}
-	res := col.Snapshot()
-	res.EnergyTotalJ = meter.TotalEnergy()
-	_, res.EnergyMaxNodeJ = meter.MaxNodeEnergy()
-	return &Outcome{
-		Result:   res,
-		Key:      key,
-		Net:      net,
-		Routers:  routers,
-		Scenario: sc,
-	}, nil
+	return s.Outcome()
 }
 
 // radioFor derives PHY parameters matching the topology's nominal range,

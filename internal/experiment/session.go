@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"mtmrp/internal/energy"
+	"mtmrp/internal/metrics"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/proto"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/trace"
+)
+
+// ErrNoDiscovery is returned by Session.RunData before any discovery
+// phase has built a tree to route down.
+var ErrNoDiscovery = errors.New("experiment: RunData before RunDiscovery")
+
+// Session is one simulated multicast session, decomposed into its
+// protocol phases. Where Run executes the fixed
+// HELLO → discovery → data pipeline in one shot, a Session lets studies
+// drive the phases directly and interleave them:
+//
+//	s, _ := NewSession(sc)
+//	s.RunHello()
+//	s.RunDiscovery(1)          // initial tree
+//	s.RunData(10)              // steady-state traffic
+//	s.RunDiscovery(1)          // ODMRP-style refresh
+//	s.RunData(10)              // more traffic down the refreshed tree
+//	res := s.Metrics()
+//
+// The amortization and refresh studies are built on this; dynamic
+// workloads (node failures between bursts, staggered joins) slot in the
+// same way. A Session is single-goroutine, like the simulator under it.
+type Session struct {
+	sc      Scenario
+	group   packet.GroupID
+	net     *network.Network
+	routers []proto.Router
+	col     *metrics.Collector
+	meter   *energy.Meter
+	logger  *trace.Logger
+
+	key        packet.FloodKey
+	helloDone  bool
+	discovered bool
+}
+
+// NewSession validates the scenario, applies its defaults, and builds the
+// network with a router on every node. No virtual time elapses yet.
+func NewSession(sc Scenario) (*Session, error) {
+	if len(sc.Receivers) == 0 {
+		return nil, ErrNoReceivers
+	}
+	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
+		return nil, ErrBadSource
+	}
+	if sc.N == 0 {
+		sc.N = 4
+	}
+	if sc.Delta == 0 {
+		sc.Delta = sim.Millisecond
+	}
+	if sc.PayloadLen == 0 {
+		sc.PayloadLen = 64
+	}
+
+	cfg := network.DefaultConfig(sc.Seed)
+	cfg.Radio = radioFor(sc.Topo)
+	cfg.MAC = sc.MAC
+	cfg.DisableCollisions = sc.DisableCollisions
+	cfg.ShadowingSigmaDB = sc.ShadowingSigmaDB
+	net := network.New(sc.Topo, cfg)
+
+	pcfg := proto.DefaultConfig()
+	if sc.Proto != nil {
+		pcfg = *sc.Proto
+	}
+
+	routers := make([]proto.Router, sc.Topo.N())
+	for i := 0; i < sc.Topo.N(); i++ {
+		routers[i] = buildRouter(sc, pcfg)
+		net.SetProtocol(i, routers[i])
+	}
+
+	const group packet.GroupID = 1
+	for _, r := range sc.Receivers {
+		net.Nodes[r].JoinGroup(group)
+	}
+	// Geographic multicast assumes the source knows its receivers.
+	if src, ok := routers[sc.Source].(interface {
+		SetDestinations([]packet.NodeID)
+	}); ok {
+		dests := make([]packet.NodeID, len(sc.Receivers))
+		for i, r := range sc.Receivers {
+			dests[i] = packet.NodeID(r)
+		}
+		src.SetDestinations(dests)
+	}
+
+	s := &Session{
+		sc:      sc,
+		group:   group,
+		net:     net,
+		routers: routers,
+		col:     metrics.NewCollector(net, packet.NodeID(sc.Source), group, sc.Receivers),
+		meter:   energy.NewMeter(sc.Topo, cfg.Radio, energy.DefaultModel()),
+	}
+	s.meter.Attach(net)
+	if sc.TraceWriter != nil {
+		s.logger = trace.NewLogger(sc.TraceWriter)
+		s.logger.Attach(net)
+	}
+	return s, nil
+}
+
+// RunHello runs the HELLO beacon exchange that populates neighbor tables.
+// It is idempotent; the discovery phase calls it automatically if needed.
+func (s *Session) RunHello() {
+	if s.helloDone {
+		return
+	}
+	// All beacons are scheduled up front and finite; Run drains the queue.
+	s.net.Start()
+	s.net.Run()
+	s.helloDone = true
+}
+
+// RunDiscovery floods rounds JoinQuerys from the source (rounds <= 0
+// takes the scenario default: DiscoveryRounds, or 2). Each round rebuilds
+// the forwarding tree; data flows down the tree of the last round. It may
+// be called again later to model an ODMRP-style route refresh.
+func (s *Session) RunDiscovery(rounds int) packet.FloodKey {
+	s.RunHello()
+	if rounds <= 0 {
+		rounds = s.sc.DiscoveryRounds
+	}
+	if rounds <= 0 {
+		rounds = 2
+	}
+	for i := 0; i < rounds; i++ {
+		s.key = s.routers[s.sc.Source].FloodQuery(s.group)
+		s.net.Run()
+	}
+	s.discovered = true
+	return s.key
+}
+
+// RunData pushes n data packets (n <= 0 takes the scenario default:
+// DataPackets, or 1) down the most recently discovered tree. It may be
+// called repeatedly; packet counts accumulate in the metrics.
+func (s *Session) RunData(n int) error {
+	if !s.discovered {
+		return ErrNoDiscovery
+	}
+	if n <= 0 {
+		n = s.sc.DataPackets
+	}
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		s.routers[s.sc.Source].SendData(s.key, s.sc.PayloadLen)
+		s.net.Run()
+	}
+	return nil
+}
+
+// Key returns the flood key of the last discovery round.
+func (s *Session) Key() packet.FloodKey { return s.key }
+
+// Network exposes the simulated network (e.g. to fail nodes between
+// phases).
+func (s *Session) Network() *network.Network { return s.net }
+
+// Routers exposes the per-node protocol instances.
+func (s *Session) Routers() []proto.Router { return s.routers }
+
+// Events returns the number of simulator events processed so far — the
+// session's true work measure, surfaced per run by the sweep engine.
+func (s *Session) Events() uint64 { return s.net.Sim.Processed() }
+
+// Err reports a trace-log write failure, if any.
+func (s *Session) Err() error {
+	if s.logger != nil && s.logger.Err() != nil {
+		return fmt.Errorf("experiment: trace log: %w", s.logger.Err())
+	}
+	return nil
+}
+
+// Metrics snapshots the paper's metrics for everything run so far,
+// including the energy accounting.
+func (s *Session) Metrics() metrics.Result {
+	res := s.col.Snapshot()
+	res.EnergyTotalJ = s.meter.TotalEnergy()
+	_, res.EnergyMaxNodeJ = s.meter.MaxNodeEnergy()
+	return res
+}
+
+// Outcome bundles the session state in the form Run returns.
+func (s *Session) Outcome() (*Outcome, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Result:   s.Metrics(),
+		Key:      s.key,
+		Net:      s.net,
+		Routers:  s.routers,
+		Scenario: s.sc,
+	}, nil
+}

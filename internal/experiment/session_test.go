@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mtmrp/internal/metrics"
+	"mtmrp/internal/topology"
+)
+
+// TestSessionMatchesRun: driving the phases by hand with the same
+// defaults must reproduce Run bit-for-bit.
+func TestSessionMatchesRun(t *testing.T) {
+	for _, p := range []Protocol{MTMRP, DODMRP, ODMRP, Flooding} {
+		sc := gridScenario(t, p, 11, 15)
+		want, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunHello()
+		key := s.RunDiscovery(0)
+		if err := s.RunData(0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Outcome()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != want.Key {
+			t.Errorf("%v: flood key %+v != %+v", p, key, want.Key)
+		}
+		if !resultsEqual(got.Result, want.Result) {
+			t.Errorf("%v: phased session diverged from Run:\n  %+v\nvs %+v", p, got.Result, want.Result)
+		}
+	}
+}
+
+// resultsEqual compares two Results (Forwarders is a slice, so the
+// struct is not ==-comparable).
+func resultsEqual(a, b metrics.Result) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+func TestSessionValidation(t *testing.T) {
+	topo := topology.PaperGrid()
+	if _, err := NewSession(Scenario{Topo: topo}); err != ErrNoReceivers {
+		t.Errorf("want ErrNoReceivers, got %v", err)
+	}
+	if _, err := NewSession(Scenario{Topo: topo, Source: -1, Receivers: []int{1}}); err != ErrBadSource {
+		t.Errorf("want ErrBadSource, got %v", err)
+	}
+}
+
+func TestSessionDataBeforeDiscovery(t *testing.T) {
+	s, err := NewSession(gridScenario(t, MTMRP, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunData(1); err != ErrNoDiscovery {
+		t.Errorf("want ErrNoDiscovery, got %v", err)
+	}
+}
+
+// TestSessionInterleavedPhases is the capability Run cannot express: an
+// initial tree, steady-state traffic, a route refresh, more traffic —
+// all inside one session with cumulative metrics.
+func TestSessionInterleavedPhases(t *testing.T) {
+	s, err := NewSession(gridScenario(t, MTMRP, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunDiscovery(1) // RunHello is implicit
+	if err := s.RunData(3); err != nil {
+		t.Fatal(err)
+	}
+	mid := s.Metrics()
+	if mid.DataTxTotal < 3 {
+		t.Fatalf("DataTxTotal = %d after 3 packets", mid.DataTxTotal)
+	}
+	ev := s.Events()
+	if ev == 0 {
+		t.Fatal("no simulator events recorded")
+	}
+
+	key2 := s.RunDiscovery(1) // refresh
+	if err := s.RunData(3); err != nil {
+		t.Fatal(err)
+	}
+	end := s.Metrics()
+	if end.DataTxTotal < mid.DataTxTotal+3 {
+		t.Errorf("refresh+data did not accumulate: %d -> %d", mid.DataTxTotal, end.DataTxTotal)
+	}
+	if s.Key() != key2 {
+		t.Error("Key() should track the last discovery round")
+	}
+	if s.Events() <= ev {
+		t.Error("event counter did not advance across phases")
+	}
+	if s.Err() != nil {
+		t.Errorf("unexpected trace error: %v", s.Err())
+	}
+}
+
+// TestSessionHelloIdempotent: repeated RunHello must not re-beacon.
+func TestSessionHelloIdempotent(t *testing.T) {
+	s, err := NewSession(gridScenario(t, MTMRP, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	ev := s.Events()
+	s.RunHello()
+	if s.Events() != ev {
+		t.Errorf("second RunHello did work: %d -> %d events", ev, s.Events())
+	}
+}

@@ -1,9 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
-	"mtmrp/internal/rng"
+	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/stats"
 )
 
@@ -21,6 +22,11 @@ type ShadowingConfig struct {
 	Runs      int
 	Seed      uint64
 	Protocols []Protocol
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers.
+	Workers int
 }
 
 // ShadowingResult holds per-(protocol, sigma) summaries.
@@ -28,9 +34,11 @@ type ShadowingResult struct {
 	Config   ShadowingConfig
 	Overhead map[Protocol][]stats.Summary // [protocol][sigmaIdx]
 	Delivery map[Protocol][]stats.Summary
+	Stats    sweep.Stats
 }
 
-// ShadowingSweep runs the study.
+// ShadowingSweep runs the study on the shared sweep engine (it ran
+// serially before the engine existed).
 func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 	if len(cfg.Protocols) == 0 {
 		cfg.Protocols = AllProtocols
@@ -44,21 +52,22 @@ func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 	if cfg.GroupSize == 0 {
 		cfg.GroupSize = 20
 	}
-	res := &ShadowingResult{
-		Config:   cfg,
-		Overhead: make(map[Protocol][]stats.Summary),
-		Delivery: make(map[Protocol][]stats.Summary),
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
 	}
-	for si, sigma := range cfg.SigmasDB {
-		accO := make(map[Protocol]*stats.Accumulator)
-		accD := make(map[Protocol]*stats.Accumulator)
-		for _, p := range cfg.Protocols {
-			accO[p] = &stats.Accumulator{}
-			accD[p] = &stats.Accumulator{}
-		}
-		for run := 0; run < cfg.Runs; run++ {
-			round := rng.New(cfg.Seed).Derive(
-				fmt.Sprintf("shadow-%s-%d-%d", cfg.Topo, si, run))
+
+	protos := cfg.Protocols
+	// Run-major job order (see GroupSizeSweep): a cancelled sweep keeps
+	// partial data at every sigma. Labels depend only on (sigma index, run).
+	total := len(cfg.SigmasDB) * cfg.Runs
+	label := func(i int) string {
+		return fmt.Sprintf("shadow-%s-%d-%d", cfg.Topo, i%len(cfg.SigmasDB), i/len(cfg.SigmasDB))
+	}
+	// values[pi] = {transmissions, delivery ratio}.
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,
+		func(_ context.Context, job *sweep.Job) ([][2]float64, error) {
+			sigma := cfg.SigmasDB[job.Index%len(cfg.SigmasDB)]
+			round := job.RNG
 			topo, err := buildTopo(cfg.Topo, round)
 			if err != nil {
 				return nil, err
@@ -67,23 +76,58 @@ func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, p := range cfg.Protocols {
+			values := make([][2]float64, len(protos))
+			for pi, p := range protos {
 				out, err := Run(Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					ShadowingSigmaDB: sigma,
 					Seed:             round.Derive("run").Uint64(),
 				})
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("%v: %w", p, err)
 				}
-				accO[p].Add(float64(out.Result.Transmissions))
-				accD[p].Add(out.Result.DeliveryRatio)
+				job.AddEvents(out.Net.Sim.Processed())
+				values[pi] = [2]float64{
+					float64(out.Result.Transmissions),
+					out.Result.DeliveryRatio,
+				}
 			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
+
+	accO := make([][]stats.Accumulator, len(cfg.SigmasDB))
+	accD := make([][]stats.Accumulator, len(cfg.SigmasDB))
+	for si := range cfg.SigmasDB {
+		accO[si] = make([]stats.Accumulator, len(protos))
+		accD[si] = make([]stats.Accumulator, len(protos))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			continue
 		}
-		for _, p := range cfg.Protocols {
-			res.Overhead[p] = append(res.Overhead[p], accO[p].Summary())
-			res.Delivery[p] = append(res.Delivery[p], accD[p].Summary())
+		si := i % len(cfg.SigmasDB)
+		for pi := range protos {
+			accO[si][pi].Add(o.Value[pi][0])
+			accD[si][pi].Add(o.Value[pi][1])
 		}
 	}
-	return res, nil
+
+	res := &ShadowingResult{
+		Config:   cfg,
+		Overhead: make(map[Protocol][]stats.Summary),
+		Delivery: make(map[Protocol][]stats.Summary),
+		Stats:    st,
+	}
+	for pi, p := range protos {
+		res.Overhead[p] = make([]stats.Summary, len(cfg.SigmasDB))
+		res.Delivery[p] = make([]stats.Summary, len(cfg.SigmasDB))
+		for si := range cfg.SigmasDB {
+			res.Overhead[p][si] = accO[si][pi].Summary()
+			res.Delivery[p][si] = accD[si][pi].Summary()
+		}
+	}
+	return res, err
 }
