@@ -4,6 +4,7 @@ import (
 	"os"
 
 	"mtmrp/internal/centralized"
+	"mtmrp/internal/channel"
 	"mtmrp/internal/experiment"
 	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/geom"
@@ -51,6 +52,10 @@ type (
 	Snapshot = trace.Snapshot
 	// Tree is a centralized multicast-tree construction result.
 	Tree = centralized.Tree
+	// LinkTable is a precomputed, immutable propagation table for one
+	// topology; build it once with NewLinkTable and set Scenario.Links to
+	// share it across runs on the same deployment.
+	LinkTable = channel.LinkTable
 )
 
 // Virtual-time units for Scenario.Delta and friends.
@@ -63,6 +68,12 @@ const (
 // Run executes one complete multicast session: HELLO phase, JoinQuery
 // flood, JoinReply tree construction, one data packet down the tree.
 func Run(sc Scenario) (*Outcome, error) { return experiment.Run(sc) }
+
+// NewLinkTable precomputes the channel link table for a topology under the
+// default radio parameters. Sharing one table across the sessions that run
+// on the same topology skips the per-run link computation; the simulated
+// behaviour is identical either way.
+func NewLinkTable(t *Topology) *LinkTable { return experiment.LinkTableFor(t) }
 
 // Session exposes the phases of a multicast session individually:
 // NewSession -> RunHello -> RunDiscovery -> RunData -> Metrics. Run is the

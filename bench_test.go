@@ -191,7 +191,8 @@ func BenchmarkGroupSizeSweep(b *testing.B) {
 		{"workers=all", 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			var runsDone float64
+			b.ReportAllocs()
+			var runsDone, events float64
 			for i := 0; i < b.N; i++ {
 				res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
 					Topo:  mtmrp.GridTopo,
@@ -206,8 +207,12 @@ func BenchmarkGroupSizeSweep(b *testing.B) {
 					b.Fatal(err)
 				}
 				runsDone += float64(res.Stats.Completed)
+				events += res.Stats.RunEvents.Mean * float64(res.Stats.Completed)
 			}
 			b.ReportMetric(runsDone/float64(b.N), "runs/op")
+			// Simulator events per wall-clock second: the DES core's true
+			// throughput measure, independent of how much work one op is.
+			b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
 		})
 	}
 }

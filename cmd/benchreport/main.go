@@ -1,0 +1,189 @@
+// Command benchreport runs the repository's headline performance
+// benchmarks and writes a machine-readable JSON report (default
+// BENCH_pr2.json) for CI artifacts and regression tracking:
+//
+//	go run ./cmd/benchreport            # writes BENCH_pr2.json
+//	go run ./cmd/benchreport -o out.json
+//
+// The report carries ns/op, bytes/op, allocs/op and (where meaningful)
+// simulator events per second for each benchmark, alongside the frozen
+// pre-optimisation baseline those numbers are compared against. Each
+// benchmark self-scales to roughly one second of run time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mtmrp"
+	"mtmrp/internal/channel"
+	"mtmrp/internal/geom"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// Measurement is one benchmark's outcome in the report.
+type Measurement struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+// Report is the BENCH_pr2.json schema.
+type Report struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Baseline  []Measurement `json:"baseline_pre_optimisation"`
+	Current   []Measurement `json:"current"`
+	Speedup   float64       `json:"sweep_speedup_vs_baseline"`
+}
+
+// baseline is the pre-optimisation measurement set, recorded on this
+// repository immediately before the shared-link-table / pooled-event
+// change (same benchmarks, same machine class, -benchtime 1x defaults).
+var baseline = []Measurement{
+	{Name: "GroupSizeSweep/workers=1", NsPerOp: 711329791, BytesPerOp: 181776514, AllocsPerOp: 5696710},
+	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 73264790, BytesPerOp: 15664101, AllocsPerOp: 482127},
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr2.json", "output file")
+	flag.Parse()
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Baseline:  baseline,
+	}
+
+	run := func(name string, events *float64, fn func(b *testing.B)) Measurement {
+		fmt.Fprintf(os.Stderr, "benchreport: running %s...\n", name)
+		if events != nil {
+			*events = 0
+		}
+		r := testing.Benchmark(fn)
+		m := Measurement{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		if events != nil && r.T > 0 {
+			m.EventsPerSec = *events / r.T.Seconds()
+		}
+		rep.Current = append(rep.Current, m)
+		return m
+	}
+
+	// The headline sweep: the Figure 5 Monte-Carlo driver, serial, exactly
+	// as BenchmarkGroupSizeSweep/workers=1 runs it.
+	var sweepEvents float64
+	sweep := run("GroupSizeSweep/workers=1", &sweepEvents, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
+				Topo:   mtmrp.GridTopo,
+				Sizes:  []int{10, 20, 30},
+				Runs:   4,
+				Seed:   uint64(i),
+				Engine: mtmrp.EngineOptions{Workers: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweepEvents += res.Stats.RunEvents.Mean * float64(res.Stats.Completed)
+		}
+	})
+
+	// One full session on the paper's 200-node random field (the Figure 6
+	// comparison point for MTMRP).
+	topo, err := mtmrp.PaperRandomTopology(7)
+	if err != nil {
+		fatal(err)
+	}
+	receivers, err := mtmrp.PickReceivers(topo, 0, 15, 7)
+	if err != nil {
+		fatal(err)
+	}
+	var sessEvents float64
+	run("Fig6RandomOverhead/MTMRP", &sessEvents, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := mtmrp.Run(mtmrp.Scenario{
+				Topo: topo, Source: 0, Receivers: receivers,
+				Protocol: mtmrp.MTMRP, N: 4, Delta: mtmrp.Millisecond,
+				Seed: uint64(i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sessEvents += float64(out.Net.Sim.Processed())
+		}
+	})
+
+	// The channel hot path: one dense transmission plus its event drain.
+	params := radio.MustDefault80211Params(40, 2.2)
+	r := rng.New(7)
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, 200), Y: r.Range(0, 200)}
+	}
+	run("TransmitDense/200nodes", nil, func(b *testing.B) {
+		s := sim.New()
+		c := channel.New(s, pts, params, channel.Config{})
+		p := packet.NewHello(0, nil)
+		c.Transmit(0, p)
+		s.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Transmit(0, p)
+			s.Run()
+		}
+	})
+
+	// Link-table construction over the same field (grid-indexed).
+	run("LinkTableBuild/200nodes", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			channel.NewLinkTable(pts, params)
+		}
+	})
+
+	if b0 := baseline[0]; sweep.NsPerOp > 0 {
+		rep.Speedup = b0.NsPerOp / sweep.NsPerOp
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs baseline, %d allocs/op)\n",
+		*out, sweep.NsPerOp/1e6, rep.Speedup, sweep.AllocsPerOp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"mtmrp"
+	"mtmrp/internal/prof"
 )
 
 func main() {
@@ -33,14 +34,23 @@ func main() {
 		snapshot = flag.Bool("snapshot", false, "render the forwarder field")
 		verbose  = flag.Bool("v", false, "print per-type transmission counts and per-phase event totals")
 		traceOut = flag.String("trace", "", "write a JSONL event log to this file (see traceview)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*topoKind, *topoFile, *nodes, *side, *txRange, *protoArg, *rcvCount,
-		*seed, *nParam, *deltaMs, *packets, *rounds, *snapshot, *verbose, *traceOut); err != nil {
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mtmrsim:", err)
 		os.Exit(1)
 	}
+	if err := run(*topoKind, *topoFile, *nodes, *side, *txRange, *protoArg, *rcvCount,
+		*seed, *nParam, *deltaMs, *packets, *rounds, *snapshot, *verbose, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "mtmrsim:", err)
+		stopProf() // flush profiles on the error path too; defers skip os.Exit
+		os.Exit(1)
+	}
+	stopProf()
 }
 
 func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg string,

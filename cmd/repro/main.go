@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"mtmrp"
+	"mtmrp/internal/prof"
 )
 
 func main() {
@@ -43,13 +44,25 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort after this long, keeping partial results (0 = none)")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
 		gmr     = flag.Bool("with-gmr", false, "add the geographic multicast baseline to Figures 5-6")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	withGMR = *gmr
+	// Profiles must flush on every exit path — the deferred stop covers
+	// normal returns and the graceful SIGINT/timeout unwinding; the
+	// explicit calls cover the os.Exit error paths, where defers don't run.
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	csvOut = *csvDir
 	if csvOut != "" {
 		if err := os.MkdirAll(csvOut, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
+			stopProf()
 			os.Exit(1)
 		}
 	}
@@ -66,7 +79,6 @@ func main() {
 	workersFlag = *workers
 
 	start := time.Now()
-	var err error
 	switch *fig {
 	case "1":
 		err = fig1()
@@ -110,6 +122,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
+		stopProf()
 		os.Exit(1)
 	}
 	fmt.Printf("\n[done in %v]\n", time.Since(start).Round(time.Millisecond))

@@ -32,15 +32,12 @@ type Radio interface {
 	CarrierChanged(busy bool)
 }
 
-// link is a precomputed propagation edge.
-type link struct {
-	to    int
-	delay sim.Time
-	power float64 // deterministic received power at this distance (Watts)
-}
-
-// arrival tracks one frame in flight toward one receiver.
+// arrival tracks one frame in flight toward one receiver. Arrivals are
+// pooled: Transmit takes one from the channel's free list per decodable
+// link and endArrival returns it once the reception resolves, so a
+// steady-state transmission allocates nothing per neighbor.
 type arrival struct {
+	ch       *Channel
 	pkt      *packet.Packet
 	collided bool
 	aborted  bool // receiver transmitted during reception
@@ -83,15 +80,14 @@ type Config struct {
 // radio before the first Transmit.
 type Channel struct {
 	sim    *sim.Simulator
-	params radio.Params
+	links  *LinkTable
 	cfg    Config
-	pos    []geom.Point
-	rxN    [][]link // links within decode range
-	csN    [][]link // links within carrier-sense range (superset of rxN)
 	radios []Radio
 	state  []nodeState
 	uid    uint64
 	stats  Stats
+
+	arrFree []*arrival // recycled arrival records
 
 	// OnAir, if set, observes every transmission (for metrics/tracing).
 	OnAir func(from int, p *packet.Packet)
@@ -99,48 +95,26 @@ type Channel struct {
 	OnDeliver func(to int, p *packet.Packet)
 }
 
-// New builds a channel over the given node positions. The reception and
-// carrier-sense discs are derived from params.
+// New builds a channel over the given node positions, computing a private
+// link table. When several simulations share one topology, build the table
+// once with NewLinkTable and use NewWithTable instead.
 func New(s *sim.Simulator, positions []geom.Point, params radio.Params, cfg Config) *Channel {
-	n := len(positions)
-	c := &Channel{
-		sim:    s,
-		params: params,
-		cfg:    cfg,
-		pos:    positions,
-		rxN:    make([][]link, n),
-		csN:    make([][]link, n),
-		radios: make([]Radio, n),
-		state:  make([]nodeState, n),
-	}
-	rx := params.TxRange()
-	cs := params.CSRange()
-	if cs < rx {
-		panic("channel: carrier-sense range smaller than reception range")
-	}
+	return NewWithTable(s, NewLinkTable(positions, params), cfg)
+}
+
+// NewWithTable builds a channel over a precomputed (and possibly shared)
+// link table. The table is read-only to the channel.
+func NewWithTable(s *sim.Simulator, links *LinkTable, cfg Config) *Channel {
 	if cfg.ShadowingSigmaDB > 0 && cfg.Rand == nil {
 		panic("channel: shadowing requires a random source")
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			d := positions[i].Dist(positions[j])
-			if d <= cs {
-				l := link{
-					to:    j,
-					delay: sim.Seconds(radio.PropDelay(d)),
-					power: params.Model.ReceivedPower(params.TxPower, d),
-				}
-				c.csN[i] = append(c.csN[i], l)
-				if d <= rx {
-					c.rxN[i] = append(c.rxN[i], l)
-				}
-			}
-		}
+	return &Channel{
+		sim:    s,
+		links:  links,
+		cfg:    cfg,
+		radios: make([]Radio, links.n),
+		state:  make([]nodeState, links.n),
 	}
-	return c
 }
 
 // decodable reports whether a frame over the given link decodes, applying
@@ -148,11 +122,11 @@ func New(s *sim.Simulator, positions []geom.Point, params radio.Params, cfg Conf
 // is the deterministic disc (power >= RXThresh).
 func (c *Channel) decodable(l link) bool {
 	if c.cfg.ShadowingSigmaDB <= 0 {
-		return l.power >= c.params.RXThresh
+		return l.power >= c.links.params.RXThresh
 	}
 	// Log-normal shadowing: deviate the mean path loss by N(0, sigma) dB.
 	devDB := c.cfg.Rand.NormFloat64() * c.cfg.ShadowingSigmaDB
-	return 10*math.Log10(l.power/c.params.RXThresh)+devDB >= 0
+	return 10*math.Log10(l.power/c.links.params.RXThresh)+devDB >= 0
 }
 
 // Attach registers the radio endpoint for node i.
@@ -171,12 +145,53 @@ func (c *Channel) Stats() Stats { return c.stats }
 
 // Duration returns the on-air time of a frame of the given size.
 func (c *Channel) Duration(sizeBytes int) sim.Time {
-	return sim.Seconds(c.params.TxDuration(sizeBytes))
+	return sim.Seconds(c.links.params.TxDuration(sizeBytes))
 }
 
 // NeighborCount returns the number of decode-range neighbors of node i
 // (used by tests and diagnostics).
-func (c *Channel) NeighborCount(i int) int { return len(c.rxN[i]) }
+func (c *Channel) NeighborCount(i int) int { return len(c.links.rx[i]) }
+
+// newArrival takes an arrival record from the free list (or allocates).
+func (c *Channel) newArrival(p *packet.Packet) *arrival {
+	if n := len(c.arrFree); n > 0 {
+		a := c.arrFree[n-1]
+		c.arrFree[n-1] = nil
+		c.arrFree = c.arrFree[:n-1]
+		a.pkt = p
+		a.collided = false
+		a.aborted = false
+		return a
+	}
+	return &arrival{ch: c, pkt: p}
+}
+
+// freeArrival returns a resolved arrival to the free list.
+func (c *Channel) freeArrival(a *arrival) {
+	a.pkt = nil
+	c.arrFree = append(c.arrFree, a)
+}
+
+// Package-level event callbacks: scheduling through sim.AfterCall with a
+// pre-existing func value and pointer arguments keeps the hot path free of
+// per-event closure allocations.
+var (
+	txEndCB = func(arg any, i int) {
+		c := arg.(*Channel)
+		c.state[i].transmitting = false
+		c.signalEnd(i)
+	}
+	sigStartCB = func(arg any, i int) { arg.(*Channel).signalStart(i) }
+	sigEndCB   = func(arg any, i int) { arg.(*Channel).signalEnd(i) }
+	arrStartCB = func(arg any, i int) {
+		a := arg.(*arrival)
+		a.ch.startArrival(i, a)
+	}
+	arrEndCB = func(arg any, i int) {
+		a := arg.(*arrival)
+		a.ch.endArrival(i, a)
+	}
+)
 
 // Transmit puts a frame on the air from node i and returns its on-air
 // duration. The caller (MAC) must not start a second transmission from the
@@ -204,32 +219,27 @@ func (c *Channel) Transmit(i int, p *packet.Packet) sim.Time {
 	}
 	// The node senses its own signal.
 	c.signalStart(i)
-	c.sim.After(dur, func() {
-		c.state[i].transmitting = false
-		c.signalEnd(i)
-	})
+	c.sim.AfterCall(dur, txEndCB, c, i)
 
 	// Carrier sensing at every node in the CS disc.
-	for _, l := range c.csN[i] {
-		to := l.to
-		c.sim.After(l.delay, func() { c.signalStart(to) })
-		c.sim.After(l.delay+dur, func() { c.signalEnd(to) })
+	for _, l := range c.links.cs[i] {
+		c.sim.AfterCall(l.delay, sigStartCB, c, l.to)
+		c.sim.AfterCall(l.delay+dur, sigEndCB, c, l.to)
 	}
 	// Frame arrival at every node that decodes this transmission. With
 	// shadowing enabled the candidate set widens to the carrier disc and
 	// each link rolls its own fading draw.
-	arrivalLinks := c.rxN[i]
+	arrivalLinks := c.links.rx[i]
 	if c.cfg.ShadowingSigmaDB > 0 {
-		arrivalLinks = c.csN[i]
+		arrivalLinks = c.links.cs[i]
 	}
 	for _, l := range arrivalLinks {
 		if !c.decodable(l) {
 			continue
 		}
-		to := l.to
-		a := &arrival{pkt: p}
-		c.sim.After(l.delay, func() { c.startArrival(to, a) })
-		c.sim.After(l.delay+dur, func() { c.endArrival(to, a) })
+		a := c.newArrival(p)
+		c.sim.AfterCall(l.delay, arrStartCB, a, l.to)
+		c.sim.AfterCall(l.delay+dur, arrEndCB, a, l.to)
 	}
 	return dur
 }
@@ -279,18 +289,26 @@ func (c *Channel) endArrival(i int, a *arrival) {
 	st := &c.state[i]
 	for k, other := range st.active {
 		if other == a {
-			st.active = append(st.active[:k], st.active[k+1:]...)
+			// Shift the tail down and nil the vacated slot: truncating alone
+			// would leave the backing array holding a dead *arrival past the
+			// slice length, pinning the packet until the slice regrows.
+			n := len(st.active) - 1
+			copy(st.active[k:], st.active[k+1:])
+			st.active[n] = nil
+			st.active = st.active[:n]
 			break
 		}
 	}
-	if a.collided || a.aborted {
+	collided, aborted, pkt := a.collided, a.aborted, a.pkt
+	c.freeArrival(a)
+	if collided || aborted {
 		return
 	}
 	c.stats.Deliveries++
 	if c.OnDeliver != nil {
-		c.OnDeliver(i, a.pkt)
+		c.OnDeliver(i, pkt)
 	}
 	if c.radios[i] != nil {
-		c.radios[i].FrameReceived(a.pkt)
+		c.radios[i].FrameReceived(pkt)
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package channel
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression tests skip under it (instrumentation allocates).
+const raceEnabled = false

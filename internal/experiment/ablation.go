@@ -110,7 +110,7 @@ func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
 	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), cfg.Runs, label,
 		func(_ context.Context, job *sweep.Job) ([][NumMetrics]float64, error) {
 			round := job.RNG
-			topo, err := buildTopo(cfg.Topo, round)
+			topo, links, err := buildRound(cfg.Topo, round)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +124,8 @@ func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
 				out, err := Run(Scenario{
 					Topo: topo, Source: 0, Receivers: rcv,
 					Protocol: MTMRP, Core: &vc,
-					Seed: round.Derive("run").Uint64(),
+					Seed:  round.Derive("run").Uint64(),
+					Links: links,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", v.Name, err)

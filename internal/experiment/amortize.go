@@ -78,7 +78,7 @@ func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
 		func(_ context.Context, job *sweep.Job) ([][2]float64, error) {
 			packets := cfg.Packets[job.Index%len(cfg.Packets)]
 			round := job.RNG
-			topo, err := buildTopo(cfg.Topo, round)
+			topo, links, err := buildRound(cfg.Topo, round)
 			if err != nil {
 				return nil, err
 			}
@@ -92,6 +92,7 @@ func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					DataPackets: packets,
 					Seed:        round.Derive("run").Uint64(),
+					Links:       links,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%v: %w", p, err)

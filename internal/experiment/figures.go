@@ -3,7 +3,9 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"mtmrp/internal/channel"
 	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/metrics"
 	"mtmrp/internal/rng"
@@ -38,6 +40,36 @@ func buildTopo(kind TopoKind, round *rng.RNG) (*topology.Topology, error) {
 		return topology.PaperGrid(), nil
 	}
 	return topology.PaperRandom(round.Derive("topology"))
+}
+
+// sharedGrid caches the one deterministic paper grid and its link table.
+// Both are immutable, so every round of every grid sweep — across all
+// worker goroutines — can share a single instance instead of rebuilding
+// topology adjacency and channel links per round.
+var sharedGrid struct {
+	once  sync.Once
+	topo  *topology.Topology
+	links *channel.LinkTable
+}
+
+// buildRound materialises the topology and link table for one Monte-Carlo
+// round. The grid variant returns the shared singletons and consumes no
+// randomness (exactly like buildTopo); the random variant redraws the
+// topology from the round stream and builds its table once, so the
+// per-protocol runs of a paired round share it.
+func buildRound(kind TopoKind, round *rng.RNG) (*topology.Topology, *channel.LinkTable, error) {
+	if kind == GridTopo {
+		sharedGrid.once.Do(func() {
+			sharedGrid.topo = topology.PaperGrid()
+			sharedGrid.links = LinkTableFor(sharedGrid.topo)
+		})
+		return sharedGrid.topo, sharedGrid.links, nil
+	}
+	topo, err := buildTopo(kind, round)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topo, LinkTableFor(topo), nil
 }
 
 // Metric indexes the three evaluation metrics of Figures 5–6.
@@ -186,7 +218,7 @@ func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
 		func(_ context.Context, job *sweep.Job) ([][NumMetrics]float64, error) {
 			size := cfg.Sizes[job.Index%len(cfg.Sizes)]
 			round := job.RNG
-			topo, err := buildTopo(cfg.Topo, round)
+			topo, links, err := buildRound(cfg.Topo, round)
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +231,8 @@ func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
 				out, err := Run(Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					N: cfg.N, Delta: cfg.Delta,
-					Seed: round.Derive("run").Uint64(),
+					Seed:  round.Derive("run").Uint64(),
+					Links: links,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%v: %w", p, err)
@@ -330,7 +363,7 @@ func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 			ni := (job.Index % cells) / len(cfg.Deltas)
 			di := job.Index % len(cfg.Deltas)
 			round := job.RNG
-			topo, err := buildTopo(cfg.Topo, round)
+			topo, links, err := buildRound(cfg.Topo, round)
 			if err != nil {
 				return nil, err
 			}
@@ -343,7 +376,8 @@ func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 				out, err := Run(Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					N: cfg.Ns[ni], Delta: cfg.Deltas[di],
-					Seed: round.Derive("run").Uint64(),
+					Seed:  round.Derive("run").Uint64(),
+					Links: links,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%v: %w", p, err)

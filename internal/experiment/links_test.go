@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mtmrp/internal/rng"
+)
+
+// TestSharedLinkTableIdentical checks the tentpole invariant directly: a
+// session run over a shared precomputed link table produces byte-identical
+// metrics — and the same event count — as one that builds its own links.
+func TestSharedLinkTableIdentical(t *testing.T) {
+	for _, kind := range []TopoKind{GridTopo, RandomTopo} {
+		round := rng.New(42).Derive("links-" + kind.String())
+		topo, err := buildTopo(kind, round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv, err := topo.PickReceivers(0, 12, round.Derive("receivers"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := LinkTableFor(topo)
+		for _, p := range AllProtocols {
+			sc := Scenario{
+				Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+				Seed: round.Derive("run").Uint64(),
+			}
+			own, err := Run(sc)
+			if err != nil {
+				t.Fatalf("%s/%v without table: %v", kind, p, err)
+			}
+			sc.Links = links
+			shared, err := Run(sc)
+			if err != nil {
+				t.Fatalf("%s/%v with table: %v", kind, p, err)
+			}
+			if !reflect.DeepEqual(own.Result, shared.Result) {
+				t.Errorf("%s/%v: results diverge with a shared link table\nown:    %+v\nshared: %+v",
+					kind, p, own.Result, shared.Result)
+			}
+			if own.Net.Sim.Processed() != shared.Net.Sim.Processed() {
+				t.Errorf("%s/%v: event counts diverge: %d vs %d",
+					kind, p, own.Net.Sim.Processed(), shared.Net.Sim.Processed())
+			}
+		}
+	}
+}

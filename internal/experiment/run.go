@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"mtmrp/internal/channel"
 	"mtmrp/internal/core"
 	"mtmrp/internal/dodmrp"
 	"mtmrp/internal/flood"
@@ -114,6 +115,13 @@ type Scenario struct {
 	// TraceWriter, when non-nil, receives the JSONL event log of the run
 	// (one line per frame transmitted or delivered).
 	TraceWriter io.Writer
+
+	// Links, when non-nil, is a precomputed link table for Topo under the
+	// default radio (radioFor(Topo)) — typically shared across the
+	// protocol variants of a paired round, or across every round on the
+	// fixed grid. The simulated behaviour is identical with or without it;
+	// sharing only removes the per-run O(n·density) table build.
+	Links *channel.LinkTable
 }
 
 // Errors returned by Run.
@@ -153,6 +161,13 @@ func Run(sc Scenario) (*Outcome, error) {
 // with the ns-2 default 2.2x carrier-sense ratio.
 func radioFor(t *topology.Topology) radio.Params {
 	return radio.MustDefault80211Params(t.Range, 2.2)
+}
+
+// LinkTableFor precomputes the channel link table for a topology under the
+// default radio. Build it once and set Scenario.Links when running several
+// sessions (protocol variants, Monte-Carlo rounds) on the same topology.
+func LinkTableFor(t *topology.Topology) *channel.LinkTable {
+	return channel.NewLinkTable(t.Positions, radioFor(t))
 }
 
 func buildRouter(sc Scenario, pcfg proto.Config) proto.Router {

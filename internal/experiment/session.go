@@ -71,6 +71,7 @@ func NewSession(sc Scenario) (*Session, error) {
 	cfg.MAC = sc.MAC
 	cfg.DisableCollisions = sc.DisableCollisions
 	cfg.ShadowingSigmaDB = sc.ShadowingSigmaDB
+	cfg.Links = sc.Links
 	net := network.New(sc.Topo, cfg)
 
 	pcfg := proto.DefaultConfig()

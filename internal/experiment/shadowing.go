@@ -68,7 +68,7 @@ func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 		func(_ context.Context, job *sweep.Job) ([][2]float64, error) {
 			sigma := cfg.SigmasDB[job.Index%len(cfg.SigmasDB)]
 			round := job.RNG
-			topo, err := buildTopo(cfg.Topo, round)
+			topo, links, err := buildRound(cfg.Topo, round)
 			if err != nil {
 				return nil, err
 			}
@@ -82,6 +82,7 @@ func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					ShadowingSigmaDB: sigma,
 					Seed:             round.Derive("run").Uint64(),
+					Links:            links,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%v: %w", p, err)

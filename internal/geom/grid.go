@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// GridIndex buckets points into square cells so that range queries touch
+// only the cells overlapping the query disc instead of every point. It is
+// the standard uniform-grid spatial index for unit-disc connectivity:
+// construction is O(n), and a radius-r query costs O(points in the cells
+// under the disc's bounding square) — O(density) for fields much larger
+// than r, instead of O(n).
+//
+// The index is immutable after construction and safe for concurrent reads.
+type GridIndex struct {
+	cell       float64 // cell edge length (> 0, finite)
+	minX, minY float64
+	nx, ny     int
+	buckets    [][]int32 // point indices per cell, ascending within a cell
+}
+
+// NewGridIndex builds an index over pts with the given cell edge length.
+// Cell size is a query-performance knob only — correctness is independent
+// of it; around half the typical query radius is a good choice. It panics
+// if cell is not positive and finite.
+func NewGridIndex(pts []Point, cell float64) *GridIndex {
+	if !(cell > 0) || math.IsInf(cell, 1) {
+		panic("geom: grid cell size must be positive and finite")
+	}
+	g := &GridIndex{cell: cell, nx: 1, ny: 1}
+	if len(pts) == 0 {
+		g.buckets = make([][]int32, 1)
+		return g
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	g.nx = g.cellsAcross(maxX - minX)
+	g.ny = g.cellsAcross(maxY - minY)
+	g.buckets = make([][]int32, g.nx*g.ny)
+	// Size the buckets first so construction does not thrash append.
+	counts := make([]int32, g.nx*g.ny)
+	for _, p := range pts {
+		counts[g.cellOf(p)]++
+	}
+	for c, n := range counts {
+		if n > 0 {
+			g.buckets[c] = make([]int32, 0, n)
+		}
+	}
+	// Appending in point order keeps every bucket ascending by index, which
+	// lets Candidates return a deterministic, sorted result.
+	for i, p := range pts {
+		c := g.cellOf(p)
+		g.buckets[c] = append(g.buckets[c], int32(i))
+	}
+	return g
+}
+
+// cellsAcross returns the cell count covering a span of the given extent.
+func (g *GridIndex) cellsAcross(extent float64) int {
+	n := int(extent/g.cell) + 1
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// cellOf maps a point to its bucket index, clamping to the grid bounds.
+func (g *GridIndex) cellOf(p Point) int {
+	ix := g.clamp(int((p.X-g.minX)/g.cell), g.nx)
+	iy := g.clamp(int((p.Y-g.minY)/g.cell), g.ny)
+	return iy*g.nx + ix
+}
+
+func (g *GridIndex) clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Candidates appends to out the indices of every point whose cell overlaps
+// the disc of radius r around p — a superset of the points within r — and
+// returns the result in ascending index order. The caller applies its own
+// exact distance test; this keeps the query free of any assumption about
+// which metric (distance, squared distance, path loss) gates membership.
+//
+// Passing a reused out[:0] keeps queries allocation-free once warm.
+func (g *GridIndex) Candidates(p Point, r float64, out []int) []int {
+	if r < 0 {
+		return out
+	}
+	ix0 := g.clamp(int((p.X-r-g.minX)/g.cell), g.nx)
+	ix1 := g.clamp(int((p.X+r-g.minX)/g.cell), g.nx)
+	iy0 := g.clamp(int((p.Y-r-g.minY)/g.cell), g.ny)
+	iy1 := g.clamp(int((p.Y+r-g.minY)/g.cell), g.ny)
+	runs := 0
+	for iy := iy0; iy <= iy1; iy++ {
+		row := iy * g.nx
+		for ix := ix0; ix <= ix1; ix++ {
+			b := g.buckets[row+ix]
+			if len(b) == 0 {
+				continue
+			}
+			runs++
+			for _, idx := range b {
+				out = append(out, int(idx))
+			}
+		}
+	}
+	// Buckets are individually ascending; a single row is already one
+	// sorted run. Merging multiple runs by sorting keeps the contract
+	// (ascending output) with a trivially small constant at WSN densities.
+	if runs > 1 {
+		sort.Ints(out)
+	}
+	return out
+}

@@ -68,10 +68,10 @@ type CSMA struct {
 
 	state   csmaState
 	queue   []*packet.Packet
-	slots   int        // remaining backoff slots
-	timer   *sim.Event // pending DIFS/slot/tx-end timer
-	busy    bool       // local carrier state
-	Dropped uint64     // frames dropped due to queue overflow
+	slots   int       // remaining backoff slots
+	timer   sim.Event // pending DIFS/slot/tx-end timer
+	busy    bool      // local carrier state
+	Dropped uint64    // frames dropped due to queue overflow
 }
 
 // NewCSMA builds the MAC for node idx and attaches it to the channel.
@@ -122,7 +122,7 @@ func (m *CSMA) start() {
 }
 
 func (m *CSMA) afterDIFS() {
-	m.timer = nil
+	m.timer = sim.Event{}
 	if m.slots < 0 {
 		// Fresh frame, medium was idle through DIFS: 802.11 allows
 		// immediate transmission. A random backoff is drawn only after
@@ -140,7 +140,7 @@ func (m *CSMA) tickSlot() {
 		return
 	}
 	m.timer = m.sim.After(m.cfg.SlotTime, func() {
-		m.timer = nil
+		m.timer = sim.Event{}
 		m.slots--
 		m.tickSlot()
 	})
@@ -153,7 +153,7 @@ func (m *CSMA) transmit() {
 	m.slots = -1
 	dur := m.ch.Transmit(m.idx, p)
 	m.timer = m.sim.After(dur, func() {
-		m.timer = nil
+		m.timer = sim.Event{}
 		m.state = csmaIdle
 		m.start()
 	})
@@ -167,7 +167,7 @@ func (m *CSMA) CarrierChanged(busy bool) {
 		if busy {
 			// DIFS interrupted: next attempt must use a random backoff.
 			m.sim.Cancel(m.timer)
-			m.timer = nil
+			m.timer = sim.Event{}
 			if m.slots < 0 {
 				m.slots = m.rnd.Intn(m.cfg.CW)
 			}
@@ -177,7 +177,7 @@ func (m *CSMA) CarrierChanged(busy bool) {
 		if busy {
 			// Freeze the countdown; remaining slots persist.
 			m.sim.Cancel(m.timer)
-			m.timer = nil
+			m.timer = sim.Event{}
 			m.state = csmaDefer
 		}
 	case csmaDefer:

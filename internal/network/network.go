@@ -34,6 +34,13 @@ type Config struct {
 	// paper's deterministic disc).
 	ShadowingSigmaDB float64
 	Seed             uint64
+
+	// Links, when set, is a precomputed (typically shared) link table for
+	// the topology under Radio. New skips the per-build link computation and
+	// wires the channel directly over it. The table must match the topology
+	// size and the Radio parameters; New panics on a mismatch rather than
+	// silently simulating a different PHY.
+	Links *channel.LinkTable
 }
 
 // DefaultConfig is the paper's PHY/MAC: two-ray ground sized to a 40 m
@@ -89,11 +96,29 @@ type Network struct {
 func New(topo *topology.Topology, cfg Config) *Network {
 	s := sim.New()
 	root := rng.New(cfg.Seed)
-	ch := channel.New(s, topo.Positions, cfg.Radio, channel.Config{
+	chCfg := channel.Config{
 		DisableCollisions: cfg.DisableCollisions,
 		ShadowingSigmaDB:  cfg.ShadowingSigmaDB,
 		Rand:              root.Derive("channel"),
-	})
+	}
+	links := cfg.Links
+	if links == nil {
+		links = channel.NewLinkTable(topo.Positions, cfg.Radio)
+	} else {
+		if links.N() != topo.N() {
+			panic(fmt.Sprintf("network: link table built for %d nodes, topology has %d", links.N(), topo.N()))
+		}
+		// Model instances are compared by name: radioFor-style constructors
+		// allocate a fresh (identical) model per call, so pointer equality
+		// would reject tables that describe the same PHY.
+		lp, rp := links.Params(), cfg.Radio
+		if lp.TxPower != rp.TxPower || lp.RXThresh != rp.RXThresh ||
+			lp.CSThresh != rp.CSThresh || lp.BitRate != rp.BitRate ||
+			lp.Model.Name() != rp.Model.Name() {
+			panic("network: link table radio parameters differ from Config.Radio")
+		}
+	}
+	ch := channel.NewWithTable(s, links, chCfg)
 	net := &Network{
 		Sim:   s,
 		Topo:  topo,
@@ -189,7 +214,7 @@ func (n *Node) Send(p *packet.Packet) {
 
 // After schedules fn on the simulator, skipping execution if the node has
 // failed by then.
-func (n *Node) After(d sim.Time, fn func()) *sim.Event {
+func (n *Node) After(d sim.Time, fn func()) sim.Event {
 	return n.net.Sim.After(d, func() {
 		if !n.down {
 			fn()

@@ -1,0 +1,61 @@
+// Package prof wires runtime/pprof CPU and heap profiling into the CLIs.
+// It exists so every command shares one flag contract (-cpuprofile,
+// -memprofile) and one flush discipline: Stop must run on every exit path
+// — normal return, error exit, SIGINT, timeout — or the CPU profile is
+// truncated and unreadable.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges for
+// a heap profile to be written to memPath (if non-empty) when the returned
+// stop function runs. Either path may be empty; with both empty the stop
+// function is a no-op. Call exactly once, and defer (or explicitly run)
+// stop on every exit path, including error exits that end in os.Exit.
+// Stop is idempotent, so `defer stop()` composes with an explicit call
+// before os.Exit.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close heap profile:", err)
+			}
+		}
+	}, nil
+}

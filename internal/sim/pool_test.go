@@ -1,0 +1,130 @@
+package sim
+
+import "testing"
+
+// nop is a preallocated callback so the alloc tests measure the scheduler,
+// not the caller's closure.
+var nop = func() {}
+
+// nopCall is a preallocated Callback for the closure-free path.
+var nopCall = func(any, int) {}
+
+// TestAfterStepAllocs is the allocation-regression guard for the event
+// pool: once the simulator's arena, heap and free list are warm, a
+// schedule-and-fire cycle must not touch the heap allocator at all.
+func TestAfterStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	s := New()
+	// Warm the pools.
+	for i := 0; i < 100; i++ {
+		s.After(1, nop)
+	}
+	s.Run()
+
+	if got := testing.AllocsPerRun(200, func() {
+		s.After(1, nop)
+		s.Step()
+	}); got != 0 {
+		t.Errorf("After+Step allocates %.1f objects/op in steady state, want 0", got)
+	}
+
+	if got := testing.AllocsPerRun(200, func() {
+		s.AfterCall(1, nopCall, s, 7)
+		s.Step()
+	}); got != 0 {
+		t.Errorf("AfterCall+Step allocates %.1f objects/op in steady state, want 0", got)
+	}
+}
+
+// TestAfterCall checks the closure-free scheduling path end to end:
+// ordering with regular events, argument passing, and cancellation.
+func TestAfterCall(t *testing.T) {
+	s := New()
+	var got []int
+	record := func(arg any, i int) {
+		*(arg.(*[]int)) = append(*(arg.(*[]int)), i)
+	}
+	s.AtCall(20, record, &got, 2)
+	s.At(10, func() { got = append(got, 1) })
+	s.AfterCall(30, record, &got, 3)
+	e := s.AtCall(25, record, &got, 99)
+	s.Cancel(e)
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStaleHandleAfterReuse checks the generation guard: a handle to a
+// fired event must stay inert even after the pooled record is reused by a
+// newer event — cancelling through the stale handle must not cancel the
+// new occupant.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	s := New()
+	first := s.At(1, nop)
+	s.Run()
+	if first.Pending() {
+		t.Fatal("fired event still pending")
+	}
+
+	ran := false
+	second := s.At(2, func() { ran = true })
+	if second.id != first.id {
+		t.Fatalf("pool did not reuse the freed slot (got id %d, want %d)", second.id, first.id)
+	}
+	s.Cancel(first) // stale: must not touch the second event
+	if !second.Pending() {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("second event did not run")
+	}
+}
+
+// TestLazyCancelAccounting checks Pending() and RunUntil in the presence
+// of lazily-discarded cancelled entries.
+func TestLazyCancelAccounting(t *testing.T) {
+	s := New()
+	var fired []Time
+	mk := func(at Time) Event {
+		return s.At(at, func() { fired = append(fired, at) })
+	}
+	e10 := mk(10)
+	mk(20)
+	e30 := mk(30)
+	mk(40)
+	if s.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", s.Pending())
+	}
+	s.Cancel(e10)
+	s.Cancel(e30)
+	if s.Pending() != 2 {
+		t.Fatalf("Pending after cancels = %d, want 2", s.Pending())
+	}
+	// The cancelled front entry (at=10) must not let RunUntil execute the
+	// next live event (at=20) early, nor run anything past t.
+	s.RunUntil(15)
+	if len(fired) != 0 {
+		t.Fatalf("RunUntil(15) fired %v, want none", fired)
+	}
+	s.RunUntil(35)
+	if len(fired) != 1 || fired[0] != 20 {
+		t.Fatalf("RunUntil(35) fired %v, want [20]", fired)
+	}
+	s.Run()
+	if len(fired) != 2 || fired[1] != 40 {
+		t.Fatalf("Run fired %v, want [20 40]", fired)
+	}
+	if s.Processed() != 2 {
+		t.Fatalf("Processed = %d, want 2 (cancelled events must not count)", s.Processed())
+	}
+}

@@ -2,31 +2,73 @@ package sim
 
 import "fmt"
 
-// Event is a scheduled callback. Events are created by Simulator.At/After
-// and may be cancelled until they fire. The zero Event is not usable.
+// Event is a handle to a scheduled callback, returned by At/After/AtCall/
+// AfterCall and accepted by Cancel. It is a small value (copy freely); the
+// zero Event is valid and refers to nothing: Pending reports false and
+// Cancel is a no-op.
+//
+// Handles are generation-checked: once the underlying event fires or is
+// cancelled, every handle to it becomes stale and is ignored, even though
+// the event's storage is recycled for later events. Callers therefore need
+// not track whether a timer already fired before cancelling it.
 type Event struct {
-	at    Time
-	seq   uint64 // tie-breaker: FIFO among simultaneous events
-	fn    func()
-	index int // position in the heap, -1 once removed
+	s   *Simulator
+	id  uint32
+	gen uint32
+	at  Time
 }
 
 // At returns the virtual time the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+func (e Event) At() Time { return e.at }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e.index >= 0 }
+func (e Event) Pending() bool {
+	return e.s != nil && e.s.events[e.id].gen == e.gen
+}
+
+// Callback is the closure-free callback form used by AtCall/AfterCall: the
+// receiver state and a small integer are passed through the scheduler
+// instead of being captured, so hot paths schedule without allocating.
+type Callback func(arg any, i int)
+
+// entry is one heap element. It is pointer-free by design: sift operations
+// move plain values through contiguous memory, with no write barriers and
+// no per-event index maintenance, which is where a pointer heap spends most
+// of its time on dense workloads.
+type entry struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	id  uint32 // index into Simulator.events
+	gen uint32 // generation the entry was scheduled under
+}
+
+// event is the pooled callback record. at/seq live only in the heap entry;
+// the record holds what must survive until the event fires.
+type event struct {
+	gen  uint32
+	fn   func()
+	cb   Callback
+	arg  any
+	argi int
+}
 
 // Simulator is a single-threaded discrete-event scheduler. All simulated
 // activity happens inside callbacks executed by Run/RunUntil/Step, in
 // nondecreasing time order; simultaneous events run in scheduling (FIFO)
 // order, which keeps runs deterministic.
 //
+// Execution order is a pure function of the (at, seq) total order, so the
+// internal queue representation (and the event pooling underneath it) can
+// never perturb a run.
+//
 // Simulator is not safe for concurrent use: the whole point of a DES is
 // that virtual concurrency is multiplexed onto one goroutine.
 type Simulator struct {
 	now       Time
-	heap      []*Event
+	heap      []entry
+	events    []event  // arena of pooled event records, indexed by entry.id
+	free      []uint32 // free list of recycled arena slots
+	live      int      // scheduled events not yet fired or cancelled
 	seq       uint64
 	processed uint64
 	running   bool
@@ -44,50 +86,129 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently queued.
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int { return s.live }
+
+// alloc takes an event record from the free list, or grows the arena.
+func (s *Simulator) alloc() uint32 {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	s.events = append(s.events, event{})
+	return uint32(len(s.events) - 1)
+}
+
+// schedule queues the prepared record id at time t and returns its handle.
+func (s *Simulator) schedule(t Time, id uint32) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	gen := s.events[id].gen
+	s.push(entry{at: t, seq: s.seq, id: id, gen: gen})
+	s.seq++
+	s.live++
+	return Event{s: s, id: id, gen: gen, at: t}
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a protocol bug, and silently reordering time
 // would corrupt the run.
-func (s *Simulator) At(t Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
+func (s *Simulator) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	s.push(e)
-	return e
+	id := s.alloc()
+	s.events[id].fn = fn
+	return s.schedule(t, id)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
+// AtCall schedules cb(arg, i) at absolute virtual time t. Unlike At, no
+// closure is involved: cb is typically a package-level func value and arg
+// the receiver it operates on, so a schedule costs zero heap allocations
+// once the simulator's pools are warm.
+func (s *Simulator) AtCall(t Time, cb Callback, arg any, i int) Event {
+	if cb == nil {
+		panic("sim: scheduling nil callback")
+	}
+	id := s.alloc()
+	ev := &s.events[id]
+	ev.cb = cb
+	ev.arg = arg
+	ev.argi = i
+	return s.schedule(t, id)
+}
+
+// AfterCall schedules cb(arg, i) to run d after the current time.
+func (s *Simulator) AfterCall(d Time, cb Callback, arg any, i int) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.AtCall(s.now+d, cb, arg, i)
+}
+
 // Cancel removes e from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers need not track state.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// already-cancelled event is a no-op (the handle has gone stale), so
+// callers need not track state. Cancellation is lazy: the heap entry is
+// discarded when it reaches the front, which keeps Cancel O(1).
+func (s *Simulator) Cancel(e Event) {
+	if e.s == nil {
 		return
 	}
-	s.remove(e.index)
+	ev := &e.s.events[e.id]
+	if ev.gen != e.gen {
+		return // already fired or cancelled
+	}
+	ev.gen++
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	e.s.live--
+	// The arena slot is recycled when the stale heap entry is popped.
+}
+
+// front discards cancelled entries and returns the next live one, if any.
+func (s *Simulator) front() (entry, bool) {
+	for len(s.heap) > 0 {
+		en := s.heap[0]
+		if s.events[en.id].gen == en.gen {
+			return en, true
+		}
+		s.pop()
+		s.free = append(s.free, en.id)
+	}
+	return entry{}, false
 }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
+	en, ok := s.front()
+	if !ok {
 		return false
 	}
-	e := s.pop()
-	s.now = e.at
+	s.pop()
+	ev := &s.events[en.id]
+	fn, cb, arg, argi := ev.fn, ev.cb, ev.arg, ev.argi
+	// Recycle before running: the callback may schedule new events straight
+	// into the freed slot, and any surviving handles are invalidated by the
+	// generation bump.
+	ev.gen++
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	s.free = append(s.free, en.id)
+	s.live--
+	s.now = en.at
 	s.processed++
-	e.fn()
+	if cb != nil {
+		cb(arg, argi)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -103,7 +224,11 @@ func (s *Simulator) Run() {
 // t (even if the queue still holds later events).
 func (s *Simulator) RunUntil(t Time) {
 	s.running = true
-	for s.running && len(s.heap) > 0 && s.heap[0].at <= t {
+	for s.running {
+		en, ok := s.front()
+		if !ok || en.at > t {
+			break
+		}
 		s.Step()
 	}
 	s.running = false
@@ -115,75 +240,50 @@ func (s *Simulator) RunUntil(t Time) {
 // Stop makes the current Run/RunUntil return after the active callback.
 func (s *Simulator) Stop() { s.running = false }
 
-// --- binary heap, ordered by (at, seq) ---
+// --- binary heap of pointer-free entries, ordered by (at, seq) ---
 
-func (s *Simulator) less(i, j int) bool {
-	a, b := s.heap[i], s.heap[j]
-	if a.at != b.at {
-		return a.at < b.at
+func (e entry) less(o entry) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return a.seq < b.seq
+	return e.seq < o.seq
 }
 
-func (s *Simulator) swap(i, j int) {
-	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.heap[i].index = i
-	s.heap[j].index = j
-}
-
-func (s *Simulator) push(e *Event) {
-	e.index = len(s.heap)
+func (s *Simulator) push(e entry) {
 	s.heap = append(s.heap, e)
-	s.up(e.index)
-}
-
-func (s *Simulator) pop() *Event {
-	e := s.heap[0]
-	s.remove(0)
-	return e
-}
-
-func (s *Simulator) remove(i int) {
-	n := len(s.heap) - 1
-	e := s.heap[i]
-	if i != n {
-		s.swap(i, n)
-	}
-	s.heap[n] = nil
-	s.heap = s.heap[:n]
-	if i != n {
-		s.down(i)
-		s.up(i)
-	}
-	e.index = -1
-}
-
-func (s *Simulator) up(i int) {
+	i := len(s.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !s.less(i, parent) {
+		if !s.heap[i].less(s.heap[parent]) {
 			break
 		}
-		s.swap(i, parent)
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
 		i = parent
 	}
 }
 
-func (s *Simulator) down(i int) {
-	n := len(s.heap)
+// pop removes the root entry (the caller has already read it).
+func (s *Simulator) pop() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
 	for {
 		l := 2*i + 1
 		if l >= n {
 			return
 		}
 		child := l
-		if r := l + 1; r < n && s.less(r, l) {
+		if r := l + 1; r < n && s.heap[r].less(s.heap[l]) {
 			child = r
 		}
-		if !s.less(child, i) {
+		if !s.heap[child].less(s.heap[i]) {
 			return
 		}
-		s.swap(i, child)
+		s.heap[i], s.heap[child] = s.heap[child], s.heap[i]
 		i = child
 	}
 }

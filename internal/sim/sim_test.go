@@ -101,15 +101,15 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Error("cancelled event ran")
 	}
-	// Double-cancel and cancel-nil must be safe.
+	// Double-cancel and cancelling the zero handle must be safe.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Event{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	events := make([]*Event, 10)
+	events := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		events[i] = s.At(Time(i*10), func() { got = append(got, i) })
@@ -264,7 +264,7 @@ func TestCancelProperty(t *testing.T) {
 		r := rng.New(seed)
 		s := New()
 		type rec struct {
-			ev        *Event
+			ev        Event
 			at        Time
 			cancelled bool
 		}

@@ -10,6 +10,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mtmrp/internal/geom"
 	"mtmrp/internal/rng"
@@ -125,17 +126,34 @@ func FromPositions(pts []geom.Point, side, txRange float64) (*Topology, error) {
 	return t, nil
 }
 
-// buildAdjacency computes the unit-disc graph. O(n^2), fine for n <= a few
-// thousand; a grid-bucket index would be the next step for larger fields.
+// buildAdjacency computes the unit-disc graph through a uniform-grid
+// spatial index: O(n·density) instead of the old all-pairs O(n²) scan.
+// Each neighbor list comes out in ascending index order — the same order
+// the naive scan produced — which downstream traversals (DFS tree builds,
+// deterministic receiver picks) depend on.
 func (t *Topology) buildAdjacency() {
 	n := len(t.Positions)
 	t.adj = make([][]int, n)
 	r2 := t.Range * t.Range
+	if !(t.Range > 0) || math.IsInf(t.Range, 1) {
+		// Degenerate range: no sensible grid cell; fall back to the scan.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if t.Positions[i].DistSq(t.Positions[j]) <= r2 {
+					t.adj[i] = append(t.adj[i], j)
+					t.adj[j] = append(t.adj[j], i)
+				}
+			}
+		}
+		return
+	}
+	grid := geom.NewGridIndex(t.Positions, t.Range/2)
+	var cand []int
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if t.Positions[i].DistSq(t.Positions[j]) <= r2 {
+		cand = grid.Candidates(t.Positions[i], t.Range, cand[:0])
+		for _, j := range cand {
+			if j != i && t.Positions[i].DistSq(t.Positions[j]) <= r2 {
 				t.adj[i] = append(t.adj[i], j)
-				t.adj[j] = append(t.adj[j], i)
 			}
 		}
 	}
