@@ -87,6 +87,17 @@ func NewSession(sc Scenario) (*Session, error) { return experiment.NewSession(sc
 // ErrNoDiscovery is returned by Session.RunData before any discovery round.
 var ErrNoDiscovery = experiment.ErrNoDiscovery
 
+// SessionPool reuses fully-built sessions across runs that share a shape
+// (same topology size and radio, protocol, MAC and channel settings),
+// resetting them in place instead of rebuilding — in the steady state a
+// Monte-Carlo loop allocates (almost) nothing. Results are bit-identical
+// to fresh runs; the pool is purely a performance cache. A pool serves one
+// goroutine; the sweep drivers below create one per worker automatically.
+type SessionPool = experiment.SessionPool
+
+// NewSessionPool returns an empty session pool.
+func NewSessionPool() *SessionPool { return experiment.NewSessionPool() }
+
 // Sweep engine types: every Monte-Carlo driver below runs on a shared
 // deterministic worker pool, configured through EngineOptions.
 type (

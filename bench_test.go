@@ -217,6 +217,45 @@ func BenchmarkGroupSizeSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkDiscovery isolates the tree-construction phase — the HELLO
+// exchange plus the default two JoinQuery/JoinReply rounds — for the three
+// mesh protocols on the Figure 5 comparison point (grid, 20 receivers).
+// Sessions come from a pool, so one op measures the protocol machinery and
+// the reset path, not network construction; in the steady state it runs
+// allocation-free.
+func BenchmarkDiscovery(b *testing.B) {
+	topo := mtmrp.Grid()
+	links := mtmrp.NewLinkTable(topo)
+	receivers, err := mtmrp.PickReceivers(topo, 0, 20, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.ODMRP, mtmrp.DODMRP} {
+		b.Run(p.String(), func(b *testing.B) {
+			sc := mtmrp.Scenario{
+				Topo: topo, Source: 0, Receivers: receivers, Protocol: p,
+				N: 4, Delta: mtmrp.Millisecond, Links: links, Seed: 7,
+			}
+			s, err := mtmrp.NewSession(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.RunHello()
+			s.RunDiscovery(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Seed = uint64(i)
+				if err := s.Reset(sc); err != nil {
+					b.Fatal(err)
+				}
+				s.RunHello()
+				s.RunDiscovery(0)
+			}
+		})
+	}
+}
+
 // BenchmarkFloodingBaseline times the introduction's strawman for scale.
 func BenchmarkFloodingBaseline(b *testing.B) {
 	benchScenario(b, mtmrp.GridTopo, 20, mtmrp.Flooding, 4, mtmrp.Millisecond)

@@ -1,8 +1,8 @@
 // Command benchreport runs the repository's headline performance
 // benchmarks and writes a machine-readable JSON report (default
-// BENCH_pr2.json) for CI artifacts and regression tracking:
+// BENCH_pr3.json) for CI artifacts and regression tracking:
 //
-//	go run ./cmd/benchreport            # writes BENCH_pr2.json
+//	go run ./cmd/benchreport            # writes BENCH_pr3.json
 //	go run ./cmd/benchreport -o out.json
 //
 // The report carries ns/op, bytes/op, allocs/op and (where meaningful)
@@ -39,7 +39,7 @@ type Measurement struct {
 	Iterations   int     `json:"iterations"`
 }
 
-// Report is the BENCH_pr2.json schema.
+// Report is the BENCH_pr3.json schema.
 type Report struct {
 	Generated string        `json:"generated"`
 	GoVersion string        `json:"go_version"`
@@ -52,15 +52,19 @@ type Report struct {
 }
 
 // baseline is the pre-optimisation measurement set, recorded on this
-// repository immediately before the shared-link-table / pooled-event
-// change (same benchmarks, same machine class, -benchtime 1x defaults).
+// repository immediately before the flat-protocol-state / session-reuse
+// change (same benchmarks, same machine class, testing.Benchmark
+// self-scaling) — i.e. with shared link tables and pooled events but with
+// maps in every protocol table and a freshly built session per run.
 var baseline = []Measurement{
-	{Name: "GroupSizeSweep/workers=1", NsPerOp: 711329791, BytesPerOp: 181776514, AllocsPerOp: 5696710},
-	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 73264790, BytesPerOp: 15664101, AllocsPerOp: 482127},
+	{Name: "GroupSizeSweep/workers=1", NsPerOp: 423901062, BytesPerOp: 34346538, AllocsPerOp: 723594},
+	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 45231331, BytesPerOp: 3640449, AllocsPerOp: 49989},
+	{Name: "TransmitDense/200nodes", NsPerOp: 12600, BytesPerOp: 1, AllocsPerOp: 0},
+	{Name: "LinkTableBuild/200nodes", NsPerOp: 1938737, BytesPerOp: 1336244, AllocsPerOp: 610},
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr2.json", "output file")
+	out := flag.String("o", "BENCH_pr3.json", "output file")
 	flag.Parse()
 
 	rep := Report{
@@ -137,6 +141,40 @@ func main() {
 			sessEvents += float64(out.Net.Sim.Processed())
 		}
 	})
+
+	// The discovery phase in isolation, per mesh protocol, through a
+	// pooled session: one op is Reset + HELLO + two JoinQuery/JoinReply
+	// rounds on the Figure 5 comparison point, allocation-free in the
+	// steady state.
+	grid := mtmrp.Grid()
+	gridLinks := mtmrp.NewLinkTable(grid)
+	gridReceivers, err := mtmrp.PickReceivers(grid, 0, 20, 7)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.ODMRP, mtmrp.DODMRP} {
+		sc := mtmrp.Scenario{
+			Topo: grid, Source: 0, Receivers: gridReceivers, Protocol: p,
+			N: 4, Delta: mtmrp.Millisecond, Links: gridLinks, Seed: 7,
+		}
+		s, err := mtmrp.NewSession(sc)
+		if err != nil {
+			fatal(err)
+		}
+		s.RunHello()
+		s.RunDiscovery(0)
+		run("Discovery/"+p.String(), nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc.Seed = uint64(i)
+				if err := s.Reset(sc); err != nil {
+					b.Fatal(err)
+				}
+				s.RunHello()
+				s.RunDiscovery(0)
+			}
+		})
+	}
 
 	// The channel hot path: one dense transmission plus its event drain.
 	params := radio.MustDefault80211Params(40, 2.2)

@@ -47,7 +47,8 @@ type arrival struct {
 type nodeState struct {
 	busySignals  int // signals currently sensed (including own transmission)
 	transmitting bool
-	active       []*arrival // frames currently arriving within decode range
+	txPkt        *packet.Packet // frame on the air (release at tx end)
+	active       []*arrival     // frames currently arriving within decode range
 }
 
 // Stats counts channel-level outcomes for diagnostics and tests.
@@ -74,6 +75,14 @@ type Config struct {
 	ShadowingSigmaDB float64
 	// Rand drives the shadowing draws; required when ShadowingSigmaDB > 0.
 	Rand *rng.RNG
+
+	// Pool, when non-nil, recycles transmitted frames: the channel holds
+	// one reference per pending arrival (plus the transmit-end event) and
+	// releases them as those events resolve, so frames built by the pool
+	// are reused instead of garbage-collected. Frame identity is never
+	// load-bearing — receivers copy payloads by value — so pooling cannot
+	// change behaviour.
+	Pool *packet.Factory
 }
 
 // Channel is the shared medium for one simulation. Attach every node's
@@ -137,6 +146,35 @@ func (c *Channel) Attach(i int, r Radio) {
 	c.radios[i] = r
 }
 
+// Reset returns the channel to its initial state over a (possibly new)
+// link table of the same size and radio parameters, keeping the attached
+// radios and the arrival free list. Session pooling uses it to rebind a
+// long-lived channel to the next Monte-Carlo round's topology.
+func (c *Channel) Reset(links *LinkTable) {
+	if links.n != c.links.n {
+		panic(fmt.Sprintf("channel: Reset with %d-node link table, channel has %d", links.n, c.links.n))
+	}
+	lp, rp := links.Params(), c.links.Params()
+	if lp.TxPower != rp.TxPower || lp.RXThresh != rp.RXThresh ||
+		lp.CSThresh != rp.CSThresh || lp.BitRate != rp.BitRate ||
+		lp.Model.Name() != rp.Model.Name() {
+		panic("channel: Reset with different radio parameters")
+	}
+	c.links = links
+	for i := range c.state {
+		st := &c.state[i]
+		st.busySignals = 0
+		st.transmitting = false
+		st.txPkt = nil
+		for k := range st.active {
+			st.active[k] = nil
+		}
+		st.active = st.active[:0]
+	}
+	c.uid = 0
+	c.stats = Stats{}
+}
+
 // Busy reports whether node i currently senses the medium busy.
 func (c *Channel) Busy(i int) bool { return c.state[i].busySignals > 0 }
 
@@ -178,7 +216,12 @@ func (c *Channel) freeArrival(a *arrival) {
 var (
 	txEndCB = func(arg any, i int) {
 		c := arg.(*Channel)
-		c.state[i].transmitting = false
+		st := &c.state[i]
+		st.transmitting = false
+		if p := st.txPkt; p != nil {
+			st.txPkt = nil
+			c.cfg.Pool.Release(p)
+		}
 		c.signalEnd(i)
 	}
 	sigStartCB = func(arg any, i int) { arg.(*Channel).signalStart(i) }
@@ -233,13 +276,19 @@ func (c *Channel) Transmit(i int, p *packet.Packet) sim.Time {
 	if c.cfg.ShadowingSigmaDB > 0 {
 		arrivalLinks = c.links.cs[i]
 	}
+	refs := int32(1) // the tx-end event
 	for _, l := range arrivalLinks {
 		if !c.decodable(l) {
 			continue
 		}
 		a := c.newArrival(p)
+		refs++
 		c.sim.AfterCall(l.delay, arrStartCB, a, l.to)
 		c.sim.AfterCall(l.delay+dur, arrEndCB, a, l.to)
+	}
+	if c.cfg.Pool != nil {
+		c.cfg.Pool.Hold(p, refs)
+		st.txPkt = p
 	}
 	return dur
 }
@@ -302,6 +351,9 @@ func (c *Channel) endArrival(i int, a *arrival) {
 	collided, aborted, pkt := a.collided, a.aborted, a.pkt
 	c.freeArrival(a)
 	if collided || aborted {
+		if c.cfg.Pool != nil {
+			c.cfg.Pool.Release(pkt)
+		}
 		return
 	}
 	c.stats.Deliveries++
@@ -310,5 +362,8 @@ func (c *Channel) endArrival(i int, a *arrival) {
 	}
 	if c.radios[i] != nil {
 		c.radios[i].FrameReceived(pkt)
+	}
+	if c.cfg.Pool != nil {
+		c.cfg.Pool.Release(pkt)
 	}
 }

@@ -110,6 +110,13 @@ func New(cfg Config) *Router {
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
 
+// SetBackoff retunes the biased-backoff knobs in place; the session pool
+// uses it when reusing a router across runs with different (N, δ) cells.
+func (r *Router) SetBackoff(n int, delta sim.Time) {
+	r.cfg.N = n
+	r.cfg.Delta = delta
+}
+
 // RelayProfit returns this node's current RelayProfit for the session
 // (Definition 1): group-member neighbors not yet covered by other
 // forwarders, excluding the source.

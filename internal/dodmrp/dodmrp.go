@@ -67,6 +67,13 @@ func New(cfg Config) *Router {
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
 
+// SetBackoff retunes the destination-driven backoff knobs in place; the
+// session pool uses it when reusing a router across (N, δ) cells.
+func (r *Router) SetBackoff(n int, delta sim.Time) {
+	r.cfg.N = n
+	r.cfg.Delta = delta
+}
+
 // queryDelay biases the flood toward member-dense neighborhoods: nodes
 // with more group-member neighbors, and group members themselves, forward
 // earlier.

@@ -111,3 +111,14 @@ func (m *Meter) Reset() {
 		m.rx[i] = 0
 	}
 }
+
+// Rebind points the meter at a different same-size topology and zeroes the
+// meters; session reuse swaps random topologies under a pooled network.
+// The radio parameters (and hence airtimes) are unchanged.
+func (m *Meter) Rebind(topo *topology.Topology) {
+	if topo.N() != len(m.tx) {
+		panic("energy: Rebind with different node count")
+	}
+	m.topo = topo
+	m.Reset()
+}

@@ -121,7 +121,9 @@ func AblationSweep(cfg AblationConfig) (*AblationResult, error) {
 			values := make([][NumMetrics]float64, len(variants))
 			for vi, v := range variants {
 				vc := v.Config
-				out, err := Run(Scenario{
+				// Core overrides opt out of pooling; poolRun falls back to a
+				// fresh Run per variant.
+				out, err := poolRun(job, Scenario{
 					Topo: topo, Source: 0, Receivers: rcv,
 					Protocol: MTMRP, Core: &vc,
 					Seed:  round.Derive("run").Uint64(),

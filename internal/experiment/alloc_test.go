@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"testing"
+
+	"mtmrp/internal/topology"
+)
+
+// TestSessionReuseSteadyStateAllocs pins the tentpole guarantee of session
+// pooling: once a session has run its scenario shape a few times — so every
+// free list, arena and scratch slice has reached its high-water mark — a
+// complete reset-and-rerun cycle (Reset, HELLO, discovery, data) allocates
+// nothing. Metrics extraction (Snapshot/Outcome) is deliberately outside
+// the loop: it builds the caller-owned Result and is called once per run,
+// not once per event.
+func TestSessionReuseSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement; skipped in -short")
+	}
+	grid := topology.PaperGrid()
+	links := LinkTableFor(grid)
+	seeds := []uint64{11, 22, 33, 44}
+
+	for _, p := range allProtocolsPlus {
+		t.Run(p.String(), func(t *testing.T) {
+			sc := Scenario{
+				Topo: grid, Source: 0, Protocol: p,
+				Receivers: []int{7, 23, 42, 58, 76, 91},
+				Links:     links,
+			}
+			sc.Seed = seeds[0]
+			s, err := NewSession(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycle := func(seed uint64) {
+				sc.Seed = seed
+				if err := s.Reset(sc); err != nil {
+					t.Fatal(err)
+				}
+				s.RunHello()
+				s.RunDiscovery(0)
+				if err := s.RunData(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// First pass grows every structure to its per-seed high-water
+			// mark; subsequent identical passes must reuse all of it.
+			s.RunHello()
+			s.RunDiscovery(0)
+			if err := s.RunData(0); err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range seeds {
+				cycle(seed)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(2*len(seeds), func() {
+				cycle(seeds[i%len(seeds)])
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state reset+run allocated %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}

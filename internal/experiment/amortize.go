@@ -88,7 +88,7 @@ func AmortizeSweep(cfg AmortizeConfig) (*AmortizeResult, error) {
 			}
 			values := make([][2]float64, len(protos))
 			for pi, p := range protos {
-				out, err := Run(Scenario{
+				out, err := poolRun(job, Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					DataPackets: packets,
 					Seed:        round.Derive("run").Uint64(),

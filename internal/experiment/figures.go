@@ -116,7 +116,9 @@ type EngineOptions struct {
 	ErrorPolicy sweep.ErrorPolicy
 }
 
-// engineConfig assembles the engine configuration for a driver.
+// engineConfig assembles the engine configuration for a driver. Every
+// driver gets a per-worker SessionPool, so the runs of a sweep reuse
+// simulator/channel/protocol state instead of rebuilding it per round.
 func engineConfig(seed uint64, opts EngineOptions) sweep.Config {
 	return sweep.Config{
 		Seed:        seed,
@@ -124,7 +126,18 @@ func engineConfig(seed uint64, opts EngineOptions) sweep.Config {
 		Context:     opts.Ctx,
 		ErrorPolicy: opts.ErrorPolicy,
 		Progress:    opts.Progress,
+		WorkerState: func() any { return NewSessionPool() },
 	}
+}
+
+// poolRun executes sc through the job's per-worker session pool when the
+// engine supplied one, falling back to a fresh Run otherwise. Results are
+// bit-identical either way; the pool only removes per-run construction.
+func poolRun(job *sweep.Job, sc Scenario) (*Outcome, error) {
+	if p, ok := job.State.(*SessionPool); ok {
+		return p.Run(sc)
+	}
+	return Run(sc)
 }
 
 // metricsVector extracts the Figure 5/6 metric vector from one run.
@@ -228,7 +241,7 @@ func GroupSizeSweep(cfg SweepConfig) (*SweepResult, error) {
 			}
 			values := make([][NumMetrics]float64, len(protos))
 			for pi, p := range protos {
-				out, err := Run(Scenario{
+				out, err := poolRun(job, Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					N: cfg.N, Delta: cfg.Delta,
 					Seed:  round.Derive("run").Uint64(),
@@ -373,7 +386,7 @@ func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 			}
 			values := make([]float64, len(protos))
 			for pi, p := range protos {
-				out, err := Run(Scenario{
+				out, err := poolRun(job, Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					N: cfg.Ns[ni], Delta: cfg.Deltas[di],
 					Seed:  round.Derive("run").Uint64(),

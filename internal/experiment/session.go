@@ -45,6 +45,8 @@ type Session struct {
 	key        packet.FloodKey
 	helloDone  bool
 	discovered bool
+
+	dests []packet.NodeID // SetDestinations scratch, reused across Reset
 }
 
 // NewSession validates the scenario, applies its defaults, and builds the
@@ -89,17 +91,6 @@ func NewSession(sc Scenario) (*Session, error) {
 	for _, r := range sc.Receivers {
 		net.Nodes[r].JoinGroup(group)
 	}
-	// Geographic multicast assumes the source knows its receivers.
-	if src, ok := routers[sc.Source].(interface {
-		SetDestinations([]packet.NodeID)
-	}); ok {
-		dests := make([]packet.NodeID, len(sc.Receivers))
-		for i, r := range sc.Receivers {
-			dests[i] = packet.NodeID(r)
-		}
-		src.SetDestinations(dests)
-	}
-
 	s := &Session{
 		sc:      sc,
 		group:   group,
@@ -108,12 +99,88 @@ func NewSession(sc Scenario) (*Session, error) {
 		col:     metrics.NewCollector(net, packet.NodeID(sc.Source), group, sc.Receivers),
 		meter:   energy.NewMeter(sc.Topo, cfg.Radio, energy.DefaultModel()),
 	}
+	// Geographic multicast assumes the source knows its receivers.
+	s.setDestinations(sc)
 	s.meter.Attach(net)
 	if sc.TraceWriter != nil {
 		s.logger = trace.NewLogger(sc.TraceWriter)
 		s.logger.Attach(net)
 	}
 	return s, nil
+}
+
+// setDestinations installs the receiver list at the source for protocols
+// that want it (GMR's location-awareness assumption), reusing the
+// session-owned scratch slice.
+func (s *Session) setDestinations(sc Scenario) {
+	src, ok := s.routers[sc.Source].(interface {
+		SetDestinations([]packet.NodeID)
+	})
+	if !ok {
+		return
+	}
+	s.dests = s.dests[:0]
+	for _, r := range sc.Receivers {
+		s.dests = append(s.dests, packet.NodeID(r))
+	}
+	src.SetDestinations(s.dests)
+}
+
+// Reset rewinds the session to the state NewSession would have produced
+// for sc, reusing every long-lived structure: the network (simulator,
+// channel, MACs, packet factory, RNG streams), the per-node routers and
+// their tables, the metrics collector and the energy meter. In the steady
+// state a reset session runs a complete scenario without allocating.
+//
+// The scenario must match the session's shape — same topology size and
+// radio, same Protocol, MAC, collision and shadowing settings — because
+// those were baked in when the structures were built. Knobs that routers
+// expose for retuning (N, δ) are re-applied; everything else (seed, topo,
+// receivers, packet counts) is naturally per-run. Scenarios needing
+// construction-time features (TraceWriter, Proto or Core overrides) cannot
+// be applied by Reset; SessionPool routes them to a fresh Run instead.
+//
+// Because every random substream is re-derived from the new seed exactly
+// as construction derives it, a reset session is bit-identical to a fresh
+// one: same packets on the air, same metrics, same RNG draw order.
+func (s *Session) Reset(sc Scenario) error {
+	if len(sc.Receivers) == 0 {
+		return ErrNoReceivers
+	}
+	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
+		return ErrBadSource
+	}
+	if sc.N == 0 {
+		sc.N = 4
+	}
+	if sc.Delta == 0 {
+		sc.Delta = sim.Millisecond
+	}
+	if sc.PayloadLen == 0 {
+		sc.PayloadLen = 64
+	}
+	links := sc.Links
+	if links == nil {
+		links = LinkTableFor(sc.Topo)
+	}
+	s.net.Reset(sc.Topo, links, sc.Seed)
+	for _, r := range s.routers {
+		r.Reset()
+		if b, ok := r.(interface{ SetBackoff(int, sim.Time) }); ok {
+			b.SetBackoff(sc.N, sc.Delta)
+		}
+	}
+	for _, r := range sc.Receivers {
+		s.net.Nodes[r].JoinGroup(s.group)
+	}
+	s.setDestinations(sc)
+	s.col.Reset(packet.NodeID(sc.Source), s.group, sc.Receivers)
+	s.meter.Rebind(sc.Topo)
+	s.sc = sc
+	s.key = packet.FloodKey{}
+	s.helloDone = false
+	s.discovered = false
+	return nil
 }
 
 // RunHello runs the HELLO beacon exchange that populates neighbor tables.

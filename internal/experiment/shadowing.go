@@ -78,7 +78,7 @@ func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 			}
 			values := make([][2]float64, len(protos))
 			for pi, p := range protos {
-				out, err := Run(Scenario{
+				out, err := poolRun(job, Scenario{
 					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
 					ShadowingSigmaDB: sigma,
 					Seed:             round.Derive("run").Uint64(),

@@ -72,6 +72,11 @@ type Job struct {
 	// RNG is the job's private random stream, derived from the sweep
 	// seed and Label. All of the job's randomness must come from here.
 	RNG *rng.RNG
+	// State is the per-worker value built by Config.WorkerState (nil when
+	// unset). Jobs on the same worker receive the same value, strictly
+	// sequentially, so it can hold single-goroutine caches such as pooled
+	// sessions. It must never influence the job's observable results.
+	State any
 
 	events uint64
 }
@@ -155,6 +160,12 @@ type Config struct {
 	ErrorPolicy ErrorPolicy
 	// Progress, when non-nil, observes the sweep (sequential calls).
 	Progress ProgressFunc
+	// WorkerState, when non-nil, runs once in each worker goroutine; its
+	// return value is handed to every job that worker executes via
+	// Job.State. Because job results must stay a pure function of the seed,
+	// the state may only carry performance caches (reused allocations,
+	// pooled sessions), never anything results depend on.
+	WorkerState func() any
 }
 
 // PartialOK reports whether a Run error still left usable partial
@@ -217,6 +228,10 @@ func Run[T any](cfg Config, total int, label func(int) string, fn func(ctx conte
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var ws any
+			if cfg.WorkerState != nil {
+				ws = cfg.WorkerState()
+			}
 			for i := range jobCh {
 				if err := cctx.Err(); err != nil {
 					outs[i].Err = err
@@ -227,7 +242,7 @@ func Run[T any](cfg Config, total int, label func(int) string, fn func(ctx conte
 				// Derive reads the root's state without advancing it, so
 				// concurrent derivations are race-free and the stream is
 				// a pure function of (seed, label).
-				job := &Job{Index: i, Label: lb, RNG: root.Derive(lb)}
+				job := &Job{Index: i, Label: lb, RNG: root.Derive(lb), State: ws}
 				start := time.Now()
 				v, err := fn(cctx, job)
 				wall := time.Since(start)

@@ -6,6 +6,7 @@
 package flood
 
 import (
+	"mtmrp/internal/bitset"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/rng"
@@ -22,18 +23,35 @@ type Config struct {
 // DefaultConfig returns the baseline configuration.
 func DefaultConfig() Config { return Config{Jitter: 2 * sim.Millisecond} }
 
+// session is the per-session state: a duplicate-suppression bitset indexed
+// by DataSeq and the delivery counter. Sessions are few per run, held in a
+// linearly-scanned slice and recycled across Reset.
+type session struct {
+	key     packet.FloodKey
+	got     int
+	dataSeq uint32
+	seen    bitset.Set
+}
+
+// pending carries a delayed rebroadcast through the scheduler without a
+// closure; blocks recycle through a free list.
+type pending struct {
+	r *Router
+	d packet.Data
+}
+
 // Router floods every data packet once. It ignores HELLO/JoinQuery/
 // JoinReply traffic and satisfies proto.Router's session API trivially:
 // FloodQuery is a no-op that just allocates the session key (flooding
 // needs no discovery), and every node acts as a forwarder.
 type Router struct {
-	cfg     Config
-	node    *network.Node
-	rnd     *rng.RNG
-	seen    map[packet.DataKey]bool
-	got     map[packet.FloodKey]int
-	dataSeq map[packet.FloodKey]uint32
-	nextSeq uint32
+	cfg      Config
+	node     *network.Node
+	rnd      *rng.RNG
+	sessions []*session
+	sessFree []*session
+	pendFree []*pending
+	nextSeq  uint32
 }
 
 // New builds a flooding router.
@@ -41,12 +59,7 @@ func New(cfg Config) *Router {
 	if cfg.Jitter <= 0 {
 		cfg.Jitter = 2 * sim.Millisecond
 	}
-	return &Router{
-		cfg:     cfg,
-		seen:    make(map[packet.DataKey]bool),
-		got:     make(map[packet.FloodKey]int),
-		dataSeq: make(map[packet.FloodKey]uint32),
-	}
+	return &Router{cfg: cfg}
 }
 
 // Name implements proto.Router.
@@ -61,21 +74,82 @@ func (r *Router) Attach(n *network.Node) {
 // Start implements network.Protocol. Flooding needs no initialization.
 func (r *Router) Start() {}
 
+// Reset implements proto.Router: rewind to the just-attached state,
+// recycling session blocks and re-deriving the RNG from the node's
+// (already reseeded) stream.
+func (r *Router) Reset() {
+	r.node.Rand.DeriveInto("flood", r.rnd)
+	r.sessFree = append(r.sessFree, r.sessions...)
+	for i := range r.sessions {
+		r.sessions[i] = nil
+	}
+	r.sessions = r.sessions[:0]
+	r.nextSeq = 0
+}
+
+func (r *Router) sess(key packet.FloodKey) *session {
+	for _, s := range r.sessions {
+		if s.key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+func (r *Router) ensureSess(key packet.FloodKey) *session {
+	if s := r.sess(key); s != nil {
+		return s
+	}
+	var s *session
+	if n := len(r.sessFree); n > 0 {
+		s = r.sessFree[n-1]
+		r.sessFree = r.sessFree[:n-1]
+	} else {
+		s = &session{}
+	}
+	s.key = key
+	s.got = 0
+	s.dataSeq = 0
+	s.seen.Reset()
+	r.sessions = append(r.sessions, s)
+	return s
+}
+
 // Receive implements network.Protocol.
 func (r *Router) Receive(p *packet.Packet) {
 	if p.Type != packet.TData {
 		return
 	}
 	d := *p.Data
-	if r.seen[d.PacketKey()] {
+	s := r.ensureSess(d.Key())
+	if s.seen.Test(int(d.DataSeq)) {
 		return
 	}
-	r.seen[d.PacketKey()] = true
-	r.got[d.Key()]++
+	s.seen.Set(int(d.DataSeq))
+	s.got++
 	delay := sim.Time(r.rnd.Uint64n(uint64(r.cfg.Jitter)))
-	r.node.After(delay, func() {
-		r.node.Send(packet.NewData(r.node.ID, d))
-	})
+	var pd *pending
+	if n := len(r.pendFree); n > 0 {
+		pd = r.pendFree[n-1]
+		r.pendFree = r.pendFree[:n-1]
+	} else {
+		pd = &pending{r: r}
+	}
+	pd.d = d
+	r.node.AfterCall(delay, rebroadcastCB, pd, 0)
+}
+
+// rebroadcastCB fires the jittered rebroadcast; it checks node liveness
+// itself (AfterCall callbacks are not wrapped like After closures).
+func rebroadcastCB(arg any, _ int) {
+	pd := arg.(*pending)
+	r, d := pd.r, pd.d
+	pd.d = packet.Data{}
+	r.pendFree = append(r.pendFree, pd)
+	if r.node.Down() {
+		return
+	}
+	r.node.Send(r.node.Packets().NewData(r.node.ID, d))
 }
 
 // FloodQuery implements proto.Router; flooding has no discovery phase.
@@ -86,27 +160,31 @@ func (r *Router) FloodQuery(g packet.GroupID) packet.FloodKey {
 
 // SendData implements proto.Router.
 func (r *Router) SendData(key packet.FloodKey, payloadLen int) {
-	r.dataSeq[key]++
+	s := r.ensureSess(key)
+	s.dataSeq++
 	d := packet.Data{
 		SourceID:   key.Source,
 		GroupID:    key.Group,
 		SequenceNo: key.Seq,
-		DataSeq:    r.dataSeq[key],
+		DataSeq:    s.dataSeq,
 		PayloadLen: payloadLen,
 	}
-	r.seen[d.PacketKey()] = true
-	r.got[key]++
-	r.node.Send(packet.NewData(r.node.ID, d))
+	s.seen.Set(int(d.DataSeq))
+	s.got++
+	r.node.Send(r.node.Packets().NewData(r.node.ID, d))
 }
 
 // IsForwarder implements proto.Router: every node forwards.
 func (r *Router) IsForwarder(key packet.FloodKey) bool { return true }
 
 // Covered implements proto.Router.
-func (r *Router) Covered(key packet.FloodKey) bool { return r.got[key] > 0 }
+func (r *Router) Covered(key packet.FloodKey) bool { return r.GotData(key) }
 
 // GotData implements proto.Router.
-func (r *Router) GotData(key packet.FloodKey) bool { return r.got[key] > 0 }
+func (r *Router) GotData(key packet.FloodKey) bool {
+	s := r.sess(key)
+	return s != nil && s.got > 0
+}
 
 // RepliesHeard implements proto.Router; flooding has no replies.
 func (r *Router) RepliesHeard(key packet.FloodKey) int { return 0 }

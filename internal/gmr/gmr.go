@@ -21,8 +21,7 @@
 package gmr
 
 import (
-	"sort"
-
+	"mtmrp/internal/bitset"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
@@ -45,18 +44,50 @@ func DefaultConfig() Config {
 	return Config{Jitter: sim.Millisecond, TTL: 64}
 }
 
+// session holds the per-session state: the delivery counter and the
+// handled set — destination d of packet seq maps to bit seq*N+d, so the
+// "each destination processed at most once per packet" bookkeeping that
+// used to be an unbounded map of maps is one word-packed bitset that
+// resets in place.
+type session struct {
+	key     packet.FloodKey
+	got     int
+	dataSeq uint32
+	handled bitset.Set
+}
+
+// pending carries a prebuilt forwarding frame through the jitter delay
+// without a closure. The frame is built at receive time (the split scratch
+// is reused by the next Receive, so it cannot be captured).
+type pending struct {
+	r   *Router
+	out *packet.Packet
+}
+
+// pair is one (selected next hop, destination) delegation from split.
+type pair struct {
+	next, dest packet.NodeID
+}
+
 // Router is a GMR instance for one node. Positions come from the network
 // topology — the standing location-awareness assumption of geographic
 // routing.
 type Router struct {
-	cfg     Config
-	node    *network.Node
-	rnd     *rng.RNG
-	handled map[packet.DataKey]map[packet.NodeID]bool // dests already processed per packet
-	got     map[packet.FloodKey]int
-	dataSeq map[packet.FloodKey]uint32
-	nextSeq uint32
-	dests   []packet.NodeID // the source's destination list
+	cfg      Config
+	node     *network.Node
+	rnd      *rng.RNG
+	n        int // network size, fixed at Attach
+	sessions []*session
+	sessFree []*session
+	pendFree []*pending
+	nextSeq  uint32
+	dests    []packet.NodeID // the source's destination list
+
+	// split/Receive scratch, reused across calls (frames deep-copy it).
+	pairs     []pair
+	order     []packet.NodeID
+	assign    []packet.GeoAssign
+	remaining []packet.NodeID
 }
 
 // New builds a GMR router.
@@ -67,12 +98,7 @@ func New(cfg Config) *Router {
 	if cfg.TTL <= 0 {
 		cfg.TTL = 64
 	}
-	return &Router{
-		cfg:     cfg,
-		handled: make(map[packet.DataKey]map[packet.NodeID]bool),
-		got:     make(map[packet.FloodKey]int),
-		dataSeq: make(map[packet.FloodKey]uint32),
-	}
+	return &Router{cfg: cfg}
 }
 
 // Name implements proto.Router.
@@ -81,16 +107,60 @@ func (r *Router) Name() string { return "GMR" }
 // Attach implements network.Protocol.
 func (r *Router) Attach(n *network.Node) {
 	r.node = n
+	r.n = len(n.Net().Nodes)
 	r.rnd = n.Rand.Derive("gmr")
 }
 
 // Start implements network.Protocol. Stateless: nothing to bootstrap.
 func (r *Router) Start() {}
 
+// Reset implements proto.Router: rewind to the just-attached state,
+// recycling session blocks and re-deriving the RNG from the node's
+// (already reseeded) stream. The destination list is cleared; the harness
+// re-installs it via SetDestinations.
+func (r *Router) Reset() {
+	r.node.Rand.DeriveInto("gmr", r.rnd)
+	r.sessFree = append(r.sessFree, r.sessions...)
+	for i := range r.sessions {
+		r.sessions[i] = nil
+	}
+	r.sessions = r.sessions[:0]
+	r.nextSeq = 0
+	r.dests = r.dests[:0]
+}
+
+func (r *Router) sess(key packet.FloodKey) *session {
+	for _, s := range r.sessions {
+		if s.key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+func (r *Router) ensureSess(key packet.FloodKey) *session {
+	if s := r.sess(key); s != nil {
+		return s
+	}
+	var s *session
+	if n := len(r.sessFree); n > 0 {
+		s = r.sessFree[n-1]
+		r.sessFree = r.sessFree[:n-1]
+	} else {
+		s = &session{}
+	}
+	s.key = key
+	s.got = 0
+	s.dataSeq = 0
+	s.handled.Reset()
+	r.sessions = append(r.sessions, s)
+	return s
+}
+
 // SetDestinations installs the multicast receiver list at the source (the
 // paper's assumption that the source knows all receiver locations).
 func (r *Router) SetDestinations(dests []packet.NodeID) {
-	r.dests = append([]packet.NodeID(nil), dests...)
+	r.dests = append(r.dests[:0], dests...)
 }
 
 // FloodQuery implements proto.Router; geographic multicast has no
@@ -103,21 +173,22 @@ func (r *Router) FloodQuery(g packet.GroupID) packet.FloodKey {
 // SendData implements proto.Router: split the destination set and
 // broadcast the first hop.
 func (r *Router) SendData(key packet.FloodKey, payloadLen int) {
-	r.dataSeq[key]++
+	s := r.ensureSess(key)
+	s.dataSeq++
 	g := packet.GeoData{
 		SourceID:   key.Source,
 		GroupID:    key.Group,
 		SequenceNo: key.Seq,
-		DataSeq:    r.dataSeq[key],
+		DataSeq:    s.dataSeq,
 		PayloadLen: payloadLen,
 		TTL:        r.cfg.TTL,
 	}
-	r.got[key]++
+	s.got++
 	g.Assign = r.split(r.dests)
 	if len(g.Assign) == 0 {
 		return // every destination is the source itself
 	}
-	r.node.Send(packet.NewGeoData(r.node.ID, g))
+	r.node.Send(r.node.Packets().NewGeoData(r.node.ID, g))
 }
 
 // Receive implements network.Protocol.
@@ -133,35 +204,55 @@ func (r *Router) Receive(p *packet.Packet) {
 	}
 	// Two upstream holders may both delegate through this node; process
 	// each destination of the packet at most once.
-	done := r.handled[g.PacketKey()]
-	if done == nil {
-		done = make(map[packet.NodeID]bool)
-		r.handled[g.PacketKey()] = done
-	}
-	var remaining []packet.NodeID
+	s := r.ensureSess(key)
+	base := int(g.DataSeq) * r.n
+	r.remaining = r.remaining[:0]
 	for _, d := range mine {
-		if done[d] {
+		if s.handled.Test(base + int(d)) {
 			continue
 		}
-		done[d] = true
+		s.handled.Set(base + int(d))
 		if d == r.node.ID {
-			r.got[key]++
+			s.got++
 		} else {
-			remaining = append(remaining, d)
+			r.remaining = append(r.remaining, d)
 		}
 	}
-	if len(remaining) == 0 || g.TTL <= 1 {
+	if len(r.remaining) == 0 || g.TTL <= 1 {
 		return
 	}
 	out := g
 	out.TTL = g.TTL - 1
-	out.Assign = r.split(remaining)
+	out.Assign = r.split(r.remaining)
 	if len(out.Assign) == 0 {
 		return // stuck in a void: greedy has no forward neighbor
 	}
-	r.node.After(sim.Time(r.rnd.Uint64n(uint64(r.cfg.Jitter))), func() {
-		r.node.Send(packet.NewGeoData(r.node.ID, out))
-	})
+	// Build the frame now (deep-copying the scratch assignment), then hold
+	// it through the jitter delay.
+	var pd *pending
+	if n := len(r.pendFree); n > 0 {
+		pd = r.pendFree[n-1]
+		r.pendFree = r.pendFree[:n-1]
+	} else {
+		pd = &pending{r: r}
+	}
+	pd.out = r.node.Packets().NewGeoData(r.node.ID, out)
+	r.node.AfterCall(sim.Time(r.rnd.Uint64n(uint64(r.cfg.Jitter))), geoSendCB, pd, 0)
+}
+
+// geoSendCB fires the jittered forwarding broadcast; it checks node
+// liveness itself (AfterCall callbacks are not wrapped like After
+// closures).
+func geoSendCB(arg any, _ int) {
+	pd := arg.(*pending)
+	r, out := pd.r, pd.out
+	pd.out = nil
+	r.pendFree = append(r.pendFree, pd)
+	if r.node.Down() {
+		r.node.Packets().Release(out) // never transmitted: recycle directly
+		return
+	}
+	r.node.Send(out)
 }
 
 // split partitions destinations among neighbors: each destination is
@@ -169,13 +260,18 @@ func (r *Router) Receive(p *packet.Packet) {
 // strictly closer to the destination than this node (greedy progress).
 // Destinations that happen to be direct neighbors are delegated to
 // themselves — the broadcast reaches them in the same frame.
+//
+// The returned slice (including the per-branch destination lists) is
+// router-owned scratch, valid until the next split call; both callers
+// immediately deep-copy it into a frame. Branches are ordered by
+// ascending next-hop id, destinations within a branch in input order.
 func (r *Router) split(dests []packet.NodeID) []packet.GeoAssign {
 	topo := r.node.Net().Topo
 	self := topo.Positions[r.node.Pos]
 	neighbors := topo.Neighbors(r.node.Pos)
 
-	byNext := make(map[packet.NodeID][]packet.NodeID)
-	var order []packet.NodeID
+	r.pairs = r.pairs[:0]
+	r.order = r.order[:0]
 	for _, d := range dests {
 		if d == r.node.ID {
 			continue
@@ -193,17 +289,47 @@ func (r *Router) split(dests []packet.NodeID) []packet.GeoAssign {
 		if best == packet.NoNode {
 			continue // void: drop this destination (bounded by TTL anyway)
 		}
-		if _, ok := byNext[best]; !ok {
-			order = append(order, best)
+		r.pairs = append(r.pairs, pair{next: best, dest: d})
+	}
+	// Distinct next hops in ascending order (sorted-insert; branches are few).
+	for _, pr := range r.pairs {
+		pos := len(r.order)
+		dup := false
+		for i, x := range r.order {
+			if x == pr.next {
+				dup = true
+				break
+			}
+			if x > pr.next {
+				pos = i
+				break
+			}
 		}
-		byNext[best] = append(byNext[best], d)
+		if dup {
+			continue
+		}
+		r.order = append(r.order, 0)
+		copy(r.order[pos+1:], r.order[pos:])
+		r.order[pos] = pr.next
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	out := make([]packet.GeoAssign, 0, len(order))
-	for _, next := range order {
-		out = append(out, packet.GeoAssign{Next: next, Dests: byNext[next]})
+	assign := r.assign[:0]
+	for _, next := range r.order {
+		n := len(assign)
+		var ds []packet.NodeID
+		// Reuse the per-branch storage left from the previous split, if any
+		// (slots past len(assign) still hold it).
+		if n < cap(assign) {
+			ds = assign[:n+1][n].Dests[:0]
+		}
+		for _, pr := range r.pairs {
+			if pr.next == next {
+				ds = append(ds, pr.dest)
+			}
+		}
+		assign = append(assign, packet.GeoAssign{Next: next, Dests: ds})
 	}
-	return out
+	r.assign = assign
+	return assign
 }
 
 // IsForwarder implements proto.Router: stateless protocols have no
@@ -212,13 +338,19 @@ func (r *Router) split(dests []packet.NodeID) []packet.GeoAssign {
 func (r *Router) IsForwarder(key packet.FloodKey) bool { return false }
 
 // Covered implements proto.Router.
-func (r *Router) Covered(key packet.FloodKey) bool { return r.got[key] > 0 }
+func (r *Router) Covered(key packet.FloodKey) bool { return r.GotData(key) }
 
 // GotData implements proto.Router.
-func (r *Router) GotData(key packet.FloodKey) bool { return r.got[key] > 0 }
+func (r *Router) GotData(key packet.FloodKey) bool { return r.DataReceived(key) > 0 }
 
 // DataReceived reports packets delivered to this node for the session.
-func (r *Router) DataReceived(key packet.FloodKey) int { return r.got[key] }
+func (r *Router) DataReceived(key packet.FloodKey) int {
+	s := r.sess(key)
+	if s == nil {
+		return 0
+	}
+	return s.got
+}
 
 // RepliesHeard implements proto.Router; there are no replies.
 func (r *Router) RepliesHeard(key packet.FloodKey) int { return 0 }

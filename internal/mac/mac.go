@@ -25,6 +25,11 @@ type MAC interface {
 	// SetUpper installs the receive callback. Must be called before the
 	// simulation starts.
 	SetUpper(fn func(*packet.Packet))
+	// Reset returns the MAC to its initial state (empty queue, idle,
+	// reseeded from the node's substream) for session reuse. The owning
+	// simulator must have been reset first: pending timer handles are
+	// discarded, not cancelled.
+	Reset(parent *rng.RNG)
 }
 
 // CSMAConfig carries the 802.11 DCF timing constants. DefaultCSMAConfig
@@ -66,8 +71,13 @@ type CSMA struct {
 	rnd   *rng.RNG
 	upper func(*packet.Packet)
 
-	state   csmaState
+	state csmaState
+	// queue[head:] is the FIFO transmit queue. Popping advances head
+	// instead of reslicing from the front, so the backing array is reused
+	// forever once the queue drains back to empty (a [1:] reslice would
+	// strand its prefix and force append to reallocate once per frame).
 	queue   []*packet.Packet
+	head    int
 	slots   int       // remaining backoff slots
 	timer   sim.Event // pending DIFS/slot/tx-end timer
 	busy    bool      // local carrier state
@@ -84,12 +94,42 @@ func NewCSMA(s *sim.Simulator, ch *channel.Channel, idx int, cfg CSMAConfig, rnd
 // SetUpper implements MAC.
 func (m *CSMA) SetUpper(fn func(*packet.Packet)) { m.upper = fn }
 
+// Reset implements MAC: idle state, empty queue, zero drop counter, and a
+// fresh "mac" substream derived in place from parent (the node's reseeded
+// generator), bit-identical to the stream a newly built MAC would get.
+func (m *CSMA) Reset(parent *rng.RNG) {
+	for i := range m.queue {
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+	m.head = 0
+	m.state = csmaIdle
+	m.slots = -1
+	m.timer = sim.Event{}
+	m.busy = false
+	m.Dropped = 0
+	parent.DeriveInto("mac", m.rnd)
+}
+
 // QueueLen reports the number of frames waiting (for tests).
-func (m *CSMA) QueueLen() int { return len(m.queue) }
+func (m *CSMA) QueueLen() int { return len(m.queue) - m.head }
+
+// pop removes and returns the head-of-line frame, rewinding the slice to
+// reuse its backing array whenever the queue empties.
+func (m *CSMA) pop() *packet.Packet {
+	p := m.queue[m.head]
+	m.queue[m.head] = nil
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
+	return p
+}
 
 // Send implements MAC.
 func (m *CSMA) Send(p *packet.Packet) {
-	if m.cfg.MaxQueue > 0 && len(m.queue) >= m.cfg.MaxQueue {
+	if m.cfg.MaxQueue > 0 && m.QueueLen() >= m.cfg.MaxQueue {
 		m.Dropped++
 		return
 	}
@@ -101,7 +141,7 @@ func (m *CSMA) Send(p *packet.Packet) {
 
 // start begins contention for the head-of-line frame.
 func (m *CSMA) start() {
-	if len(m.queue) == 0 {
+	if m.QueueLen() == 0 {
 		m.state = csmaIdle
 		return
 	}
@@ -118,8 +158,29 @@ func (m *CSMA) start() {
 	// Medium idle: wait out DIFS, then transmit (or run down a frozen
 	// backoff left over from an interrupted attempt).
 	m.state = csmaDIFS
-	m.timer = m.sim.After(m.cfg.DIFS, m.afterDIFS)
+	m.timer = m.sim.AfterCall(m.cfg.DIFS, csmaDIFSCB, m, 0)
 }
+
+// Package-level timer callbacks: scheduling through AfterCall with the MAC
+// itself as the argument keeps the per-frame and per-slot hot paths free of
+// closure allocations (see internal/channel for the same pattern).
+func csmaDIFSCB(arg any, _ int) { arg.(*CSMA).afterDIFS() }
+
+func csmaSlotCB(arg any, _ int) {
+	m := arg.(*CSMA)
+	m.timer = sim.Event{}
+	m.slots--
+	m.tickSlot()
+}
+
+func csmaTxDoneCB(arg any, _ int) {
+	m := arg.(*CSMA)
+	m.timer = sim.Event{}
+	m.state = csmaIdle
+	m.start()
+}
+
+func idealNextCB(arg any, _ int) { arg.(*Ideal).next() }
 
 func (m *CSMA) afterDIFS() {
 	m.timer = sim.Event{}
@@ -139,24 +200,15 @@ func (m *CSMA) tickSlot() {
 		m.transmit()
 		return
 	}
-	m.timer = m.sim.After(m.cfg.SlotTime, func() {
-		m.timer = sim.Event{}
-		m.slots--
-		m.tickSlot()
-	})
+	m.timer = m.sim.AfterCall(m.cfg.SlotTime, csmaSlotCB, m, 0)
 }
 
 func (m *CSMA) transmit() {
-	p := m.queue[0]
-	m.queue = m.queue[1:]
+	p := m.pop()
 	m.state = csmaTx
 	m.slots = -1
 	dur := m.ch.Transmit(m.idx, p)
-	m.timer = m.sim.After(dur, func() {
-		m.timer = sim.Event{}
-		m.state = csmaIdle
-		m.start()
-	})
+	m.timer = m.sim.AfterCall(dur, csmaTxDoneCB, m, 0)
 }
 
 // CarrierChanged implements channel.Radio.
@@ -207,7 +259,9 @@ type Ideal struct {
 	upper func(*packet.Packet)
 
 	sending bool
-	queue   []*packet.Packet
+	// queue[head:] is the FIFO; see CSMA.queue for the reuse scheme.
+	queue []*packet.Packet
+	head  int
 }
 
 // NewIdeal builds the contention-free MAC for node idx.
@@ -220,6 +274,16 @@ func NewIdeal(s *sim.Simulator, ch *channel.Channel, idx int) *Ideal {
 // SetUpper implements MAC.
 func (m *Ideal) SetUpper(fn func(*packet.Packet)) { m.upper = fn }
 
+// Reset implements MAC. Ideal draws no randomness; parent is unused.
+func (m *Ideal) Reset(parent *rng.RNG) {
+	for i := range m.queue {
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+	m.head = 0
+	m.sending = false
+}
+
 // Send implements MAC.
 func (m *Ideal) Send(p *packet.Packet) {
 	m.queue = append(m.queue, p)
@@ -229,15 +293,18 @@ func (m *Ideal) Send(p *packet.Packet) {
 }
 
 func (m *Ideal) next() {
-	if len(m.queue) == 0 {
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
 		m.sending = false
 		return
 	}
 	m.sending = true
-	p := m.queue[0]
-	m.queue = m.queue[1:]
+	p := m.queue[m.head]
+	m.queue[m.head] = nil
+	m.head++
 	dur := m.ch.Transmit(m.idx, p)
-	m.sim.After(dur, m.next)
+	m.sim.AfterCall(dur, idealNextCB, m, 0)
 }
 
 // FrameReceived implements channel.Radio.

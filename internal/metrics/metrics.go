@@ -16,27 +16,32 @@
 package metrics
 
 import (
+	"mtmrp/internal/bitset"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
 )
 
 // Collector subscribes to a network and accumulates per-session counters.
-// Create it before running the simulation; call Snapshot afterwards.
+// Create it before running the simulation; call Snapshot afterwards. Node
+// ids are dense, so every per-node set is a word-packed bitset (or a flat
+// slice), and the whole collector resets in place for session reuse.
 type Collector struct {
 	net       *network.Network
 	source    packet.NodeID
 	group     packet.GroupID
-	receivers map[packet.NodeID]bool
+	receivers bitset.Set
+	nrecv     int
 
 	txByType    [packet.NumTypes]uint64
-	dataTx      []packet.NodeID                 // distinct transmitters of DATA, in order
-	dataTxSet   map[packet.NodeID]bool          // dedup
-	dataTxTotal uint64                          // all DATA frames (multi-packet sessions)
-	firstFrom   map[packet.NodeID]packet.NodeID // receiver -> transmitter of first DATA copy
-	rxData      map[packet.NodeID]bool          // nodes that received DATA at all
+	dataTx      []packet.NodeID // distinct transmitters of DATA, in order
+	dataTxSet   bitset.Set      // dedup
+	dataTxTotal uint64          // all DATA frames (multi-packet sessions)
+	firstFrom   []packet.NodeID // receiver -> transmitter of first DATA copy (NoNode = none)
+	rxData      bitset.Set      // nodes that received DATA at all
 	bytesTx     uint64
 	bytesRx     uint64
 	controlTx   uint64 // HELLO + JQ + JR transmissions
+	profit      []int  // Snapshot scratch: first-copy attribution per node
 	prevOnAir   func(*network.Node, *packet.Packet)
 	prevOnRecv  func(*network.Node, *packet.Packet)
 }
@@ -44,23 +49,45 @@ type Collector struct {
 // NewCollector wires a collector into the network's observation hooks,
 // chaining any hooks already installed.
 func NewCollector(net *network.Network, source packet.NodeID, group packet.GroupID, receivers []int) *Collector {
-	c := &Collector{
-		net:       net,
-		source:    source,
-		group:     group,
-		receivers: make(map[packet.NodeID]bool, len(receivers)),
-		dataTxSet: make(map[packet.NodeID]bool),
-		firstFrom: make(map[packet.NodeID]packet.NodeID),
-		rxData:    make(map[packet.NodeID]bool),
-	}
-	for _, r := range receivers {
-		c.receivers[packet.NodeID(r)] = true
-	}
+	c := &Collector{net: net}
 	c.prevOnAir = net.OnTransmit
 	c.prevOnRecv = net.OnDeliver
 	net.OnTransmit = c.onTransmit
 	net.OnDeliver = c.onDeliver
+	c.Reset(source, group, receivers)
 	return c
+}
+
+// Reset rewinds the collector for a new session on the same network,
+// keeping the hook chain installed by NewCollector (hooks are wired once;
+// re-chaining on reuse would stack duplicates).
+func (c *Collector) Reset(source packet.NodeID, group packet.GroupID, receivers []int) {
+	c.source = source
+	c.group = group
+	c.receivers.Reset()
+	c.nrecv = len(receivers)
+	for _, r := range receivers {
+		c.receivers.Set(r)
+	}
+	c.txByType = [packet.NumTypes]uint64{}
+	c.dataTx = c.dataTx[:0]
+	c.dataTxSet.Reset()
+	c.dataTxTotal = 0
+	n := len(c.net.Nodes)
+	if cap(c.firstFrom) < n {
+		c.firstFrom = make([]packet.NodeID, n)
+		c.profit = make([]int, n)
+	} else {
+		c.firstFrom = c.firstFrom[:n]
+		c.profit = c.profit[:n]
+	}
+	for i := range c.firstFrom {
+		c.firstFrom[i] = packet.NoNode
+	}
+	c.rxData.Reset()
+	c.bytesTx = 0
+	c.bytesRx = 0
+	c.controlTx = 0
 }
 
 func (c *Collector) onTransmit(from *network.Node, p *packet.Packet) {
@@ -72,8 +99,8 @@ func (c *Collector) onTransmit(from *network.Node, p *packet.Packet) {
 	switch p.Type {
 	case packet.TData, packet.TGeoData:
 		c.dataTxTotal++
-		if !c.dataTxSet[from.ID] {
-			c.dataTxSet[from.ID] = true
+		if !c.dataTxSet.Test(int(from.ID)) {
+			c.dataTxSet.Set(int(from.ID))
 			c.dataTx = append(c.dataTx, from.ID)
 		}
 	default:
@@ -105,8 +132,8 @@ func (c *Collector) onDeliver(to *network.Node, p *packet.Packet) {
 	default:
 		return
 	}
-	if !c.rxData[to.ID] {
-		c.rxData[to.ID] = true
+	if !c.rxData.Test(int(to.ID)) {
+		c.rxData.Set(int(to.ID))
 		c.firstFrom[to.ID] = p.From
 	}
 }
@@ -160,23 +187,27 @@ func (c *Collector) Snapshot() Result {
 		TxByType:      c.txByType,
 		BytesTx:       c.bytesTx,
 		BytesRx:       c.bytesRx,
-		ReceiverCount: len(c.receivers),
+		ReceiverCount: c.nrecv,
 	}
 	res.Transmissions = len(c.dataTx)
 	res.DataTxTotal = c.dataTxTotal
 
 	// Relay profit: receivers attributed to the transmitter of their
-	// first received copy.
-	profit := make(map[packet.NodeID]int)
-	for rcv := range c.receivers {
+	// first received copy. profit is collector-owned scratch (zeroed here),
+	// not a fresh map per call.
+	for i := range c.profit {
+		c.profit[i] = 0
+	}
+	c.receivers.Range(func(r int) {
+		rcv := packet.NodeID(r)
 		if rcv == c.source {
-			continue
+			return
 		}
-		if from, ok := c.firstFrom[rcv]; ok {
-			profit[from]++
+		if from := c.firstFrom[rcv]; from != packet.NoNode {
+			c.profit[from]++
 			res.ReceiversReached++
 		}
-	}
+	})
 	relays := 0
 	totalFirst := 0
 	totalNeighbor := 0
@@ -185,15 +216,15 @@ func (c *Collector) Snapshot() Result {
 			continue
 		}
 		relays++
-		totalFirst += profit[tx]
+		totalFirst += c.profit[tx]
 		for _, nb := range c.net.Topo.Neighbors(int(tx)) {
 			id := packet.NodeID(nb)
-			if id != c.source && c.receivers[id] && c.rxData[id] {
+			if id != c.source && c.receivers.Test(nb) && c.rxData.Test(nb) {
 				totalNeighbor++
 			}
 		}
 		res.Forwarders = append(res.Forwarders, tx)
-		if !c.receivers[tx] {
+		if !c.receivers.Test(int(tx)) {
 			res.ExtraNodes++
 		}
 	}

@@ -3,9 +3,15 @@
 // membership, last-seen timestamps with expiry, and the per-session
 // overhearing marks ("covered receiver", "known forwarder") that MTMRP's
 // RelayProfit and path handover scheme are built on.
+//
+// Node ids are dense indices, so the table is a flat slice of Entry records
+// indexed by id, and the per-session marks are word-packed bitsets keyed by
+// a small session registry — no maps anywhere on the HELLO/JoinQuery hot
+// path, and the whole structure resets in place for session reuse.
 package neighbor
 
 import (
+	"mtmrp/internal/bitset"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/sim"
 )
@@ -14,93 +20,180 @@ import (
 type Entry struct {
 	ID       packet.NodeID
 	LastSeen sim.Time
-	Groups   map[packet.GroupID]bool
 	// Count is the number of HELLOs heard from this neighbor — a crude
 	// link-quality estimator: under fading, marginal links deliver only a
 	// fraction of beacons.
 	Count int
 
-	// covered marks sessions for which this neighbor is a covered
-	// multicast receiver (we overheard it originate a JoinReply, or it was
-	// covered by a forwarder we heard about).
-	covered map[packet.FloodKey]bool
-	// forwarder marks sessions for which this neighbor is a known
-	// forwarder (we overheard it relay a JoinReply).
-	forwarder map[packet.FloodKey]bool
+	groups  []packet.GroupID // announced memberships (small; linear scan)
+	present bool
+	t       *Table
 }
 
 // InGroup reports whether the neighbor announced membership of g.
-func (e *Entry) InGroup(g packet.GroupID) bool { return e.Groups[g] }
+func (e *Entry) InGroup(g packet.GroupID) bool {
+	for _, x := range e.groups {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
 
 // Covered reports the per-session covered mark.
-func (e *Entry) Covered(key packet.FloodKey) bool { return e.covered[key] }
+func (e *Entry) Covered(key packet.FloodKey) bool {
+	if s := e.t.slot(key); s >= 0 {
+		return e.t.covered[s].Test(int(e.ID))
+	}
+	return false
+}
 
 // Forwarder reports the per-session forwarder mark.
-func (e *Entry) Forwarder(key packet.FloodKey) bool { return e.forwarder[key] }
+func (e *Entry) Forwarder(key packet.FloodKey) bool {
+	if s := e.t.slot(key); s >= 0 {
+		return e.t.forwarder[s].Test(int(e.ID))
+	}
+	return false
+}
 
-// Table is a node's one-hop neighbor table.
+// Table is a node's one-hop neighbor table. Entries live in a flat slice
+// indexed by NodeID; the per-session covered/forwarder marks live in
+// bitsets shared across entries, keyed by a small registry of session keys
+// (a handful per run, scanned linearly).
 type Table struct {
-	entries map[packet.NodeID]*Entry
+	entries []Entry
+	n       int      // entries currently present
 	expiry  sim.Time // entries older than this are recycled; 0 = never
+	expiry0 sim.Time // the NewTable value, restored by Reset
+
+	sessions  []packet.FloodKey
+	covered   []bitset.Set // covered[slot] bit id — covered receiver marks
+	forwarder []bitset.Set // forwarder[slot] bit id — known-forwarder marks
 }
 
 // NewTable returns an empty table. Entries not refreshed within expiry are
 // recycled by Expire (the paper's "overdue entries ... recycled after a
 // time"); expiry 0 disables aging.
 func NewTable(expiry sim.Time) *Table {
-	return &Table{entries: make(map[packet.NodeID]*Entry), expiry: expiry}
+	return &Table{expiry: expiry, expiry0: expiry}
+}
+
+// Grow pre-sizes the entry array for ids in [0, n), so no reallocation —
+// which would invalidate outstanding *Entry pointers — happens during the
+// simulation. Protocols call it at attach time with the network size.
+func (t *Table) Grow(n int) {
+	for len(t.entries) < n {
+		t.entries = append(t.entries, Entry{ID: packet.NodeID(len(t.entries)), t: t})
+	}
 }
 
 // SetExpiry changes the aging window; used when a protocol switches from
 // discovery (no aging) to steady-state maintenance.
 func (t *Table) SetExpiry(d sim.Time) { t.expiry = d }
 
+// Reset empties the table in place — entries, session registry and mark
+// bitsets — keeping all storage, and restores the NewTable expiry.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		e := &t.entries[i]
+		e.LastSeen = 0
+		e.Count = 0
+		e.groups = e.groups[:0]
+		e.present = false
+	}
+	t.n = 0
+	for i := range t.covered {
+		t.covered[i].Reset()
+		t.forwarder[i].Reset()
+	}
+	t.sessions = t.sessions[:0]
+	t.expiry = t.expiry0
+}
+
+// slot returns the registry index of key, or -1.
+func (t *Table) slot(key packet.FloodKey) int {
+	for i, k := range t.sessions {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// ensureSlot returns the registry index of key, registering it if new.
+// Mark bitsets beyond the registry length are leftovers from a previous
+// Reset and are already cleared, so they are reused as-is.
+func (t *Table) ensureSlot(key packet.FloodKey) int {
+	if s := t.slot(key); s >= 0 {
+		return s
+	}
+	t.sessions = append(t.sessions, key)
+	if len(t.covered) < len(t.sessions) {
+		t.covered = append(t.covered, bitset.Set{})
+		t.forwarder = append(t.forwarder, bitset.Set{})
+	}
+	return len(t.sessions) - 1
+}
+
 // Observe records a HELLO from id carrying the given group memberships,
 // inserting or refreshing the entry.
 func (t *Table) Observe(id packet.NodeID, now sim.Time, groups []packet.GroupID) {
-	e := t.entries[id]
-	if e == nil {
-		e = &Entry{
-			ID:        id,
-			Groups:    make(map[packet.GroupID]bool),
-			covered:   make(map[packet.FloodKey]bool),
-			forwarder: make(map[packet.FloodKey]bool),
-		}
-		t.entries[id] = e
-	}
-	e.LastSeen = now
+	e := t.ensure(id, now)
 	e.Count++
 	// Membership is replaced wholesale: HELLO carries the full set.
-	for g := range e.Groups {
-		delete(e.Groups, g)
-	}
-	for _, g := range groups {
-		e.Groups[g] = true
-	}
+	e.groups = append(e.groups[:0], groups...)
 }
 
 // Touch refreshes the timestamp of a known neighbor without changing
 // membership, e.g. on overheard data traffic. Unknown ids are ignored.
 func (t *Table) Touch(id packet.NodeID, now sim.Time) {
-	if e := t.entries[id]; e != nil {
+	if e := t.Entry(id); e != nil {
 		e.LastSeen = now
 	}
 }
 
 // Entry returns the record for id, or nil.
-func (t *Table) Entry(id packet.NodeID) *Entry { return t.entries[id] }
+func (t *Table) Entry(id packet.NodeID) *Entry {
+	if int(id) < 0 || int(id) >= len(t.entries) || !t.entries[id].present {
+		return nil
+	}
+	return &t.entries[id]
+}
 
 // Len returns the number of entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.n }
 
-// Expire recycles entries not seen within the expiry window.
+// Slots returns the size of the entry array; At(i) for i in [0, Slots())
+// visits every entry in ascending id order. Together they replace map
+// iteration without allocating an id slice.
+func (t *Table) Slots() int { return len(t.entries) }
+
+// At returns the entry in slot i, or nil if no neighbor occupies it.
+func (t *Table) At(i int) *Entry {
+	if !t.entries[i].present {
+		return nil
+	}
+	return &t.entries[i]
+}
+
+// Expire recycles entries not seen within the expiry window, clearing
+// their per-session marks as well (the whole record is recycled).
 func (t *Table) Expire(now sim.Time) {
 	if t.expiry == 0 {
 		return
 	}
-	for id, e := range t.entries {
-		if now-e.LastSeen > t.expiry {
-			delete(t.entries, id)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.present && now-e.LastSeen > t.expiry {
+			e.LastSeen = 0
+			e.Count = 0
+			e.groups = e.groups[:0]
+			e.present = false
+			t.n--
+			for s := range t.sessions {
+				t.covered[s].Clear(int(e.ID))
+				t.forwarder[s].Clear(int(e.ID))
+			}
 		}
 	}
 }
@@ -108,24 +201,24 @@ func (t *Table) Expire(now sim.Time) {
 // MarkCovered marks neighbor id as a covered receiver for the session.
 // Unknown neighbors get a skeleton entry (we clearly can hear them).
 func (t *Table) MarkCovered(id packet.NodeID, key packet.FloodKey, now sim.Time) {
-	t.ensure(id, now).covered[key] = true
+	t.ensure(id, now)
+	t.covered[t.ensureSlot(key)].Set(int(id))
 }
 
 // MarkForwarder marks neighbor id as a known forwarder for the session.
 func (t *Table) MarkForwarder(id packet.NodeID, key packet.FloodKey, now sim.Time) {
-	t.ensure(id, now).forwarder[key] = true
+	t.ensure(id, now)
+	t.forwarder[t.ensureSlot(key)].Set(int(id))
 }
 
 func (t *Table) ensure(id packet.NodeID, now sim.Time) *Entry {
-	e := t.entries[id]
-	if e == nil {
-		e = &Entry{
-			ID:        id,
-			Groups:    make(map[packet.GroupID]bool),
-			covered:   make(map[packet.FloodKey]bool),
-			forwarder: make(map[packet.FloodKey]bool),
-		}
-		t.entries[id] = e
+	if int(id) >= len(t.entries) {
+		t.Grow(int(id) + 1)
+	}
+	e := &t.entries[id]
+	if !e.present {
+		e.present = true
+		t.n++
 	}
 	e.LastSeen = now
 	return e
@@ -137,19 +230,15 @@ func (t *Table) Reliable(id packet.NodeID, minCount int) bool {
 	if minCount <= 0 {
 		return true
 	}
-	e := t.entries[id]
+	e := t.Entry(id)
 	return e != nil && e.Count >= minCount
 }
 
 // HasForwarder reports whether any neighbor is a known forwarder for the
 // session — the test driving both halves of the path handover scheme.
 func (t *Table) HasForwarder(key packet.FloodKey) bool {
-	for _, e := range t.entries {
-		if e.forwarder[key] {
-			return true
-		}
-	}
-	return false
+	s := t.slot(key)
+	return s >= 0 && t.forwarder[s].Count() > 0
 }
 
 // RelayProfit returns the number of neighbors that are members of the
@@ -157,12 +246,14 @@ func (t *Table) HasForwarder(key packet.FloodKey) bool {
 // querying node's own upstream/source id from consideration when needed
 // (pass packet.NoNode for none).
 func (t *Table) RelayProfit(key packet.FloodKey, exclude packet.NodeID) int {
+	s := t.slot(key)
 	n := 0
-	for id, e := range t.entries {
-		if id == exclude || id == key.Source {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.present || e.ID == exclude || e.ID == key.Source {
 			continue
 		}
-		if e.Groups[key.Group] && !e.covered[key] {
+		if e.InGroup(key.Group) && !(s >= 0 && t.covered[s].Test(int(e.ID))) {
 			n++
 		}
 	}
@@ -173,22 +264,25 @@ func (t *Table) RelayProfit(key packet.FloodKey, exclude packet.NodeID) int {
 // group, ignoring coverage — DODMRP's destination-driven signal.
 func (t *Table) MemberCount(g packet.GroupID, exclude packet.NodeID) int {
 	n := 0
-	for id, e := range t.entries {
-		if id == exclude {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.present || e.ID == exclude {
 			continue
 		}
-		if e.Groups[g] {
+		if e.InGroup(g) {
 			n++
 		}
 	}
 	return n
 }
 
-// IDs returns the neighbor ids currently in the table (unspecified order).
+// IDs returns the neighbor ids currently in the table in ascending order.
 func (t *Table) IDs() []packet.NodeID {
-	out := make([]packet.NodeID, 0, len(t.entries))
-	for id := range t.entries {
-		out = append(out, id)
+	out := make([]packet.NodeID, 0, t.n)
+	for i := range t.entries {
+		if t.entries[i].present {
+			out = append(out, t.entries[i].ID)
+		}
 	}
 	return out
 }

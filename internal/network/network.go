@@ -65,14 +65,15 @@ type Protocol interface {
 // Node is one sensor node: identity, position, group membership, MAC and
 // protocol instance.
 type Node struct {
-	ID     packet.NodeID
-	Pos    int // index into the topology (== int(ID))
-	net    *Network
-	mac    mac.MAC
-	proto  Protocol
-	groups map[packet.GroupID]bool
-	down   bool
-	Rand   *rng.RNG // per-node substream for protocol jitter
+	ID       packet.NodeID
+	Pos      int // index into the topology (== int(ID))
+	net      *Network
+	mac      mac.MAC
+	proto    Protocol
+	groups   []packet.GroupID // sorted memberships (small; linear scan)
+	down     bool
+	Rand     *rng.RNG // per-node substream for protocol jitter
+	rngLabel string   // precomputed "node-i" derivation key for Reset
 }
 
 // Network owns the simulation.
@@ -82,6 +83,10 @@ type Network struct {
 	Chan  *channel.Channel
 	Nodes []*Node
 	Rand  *rng.RNG
+
+	root     rng.RNG         // seed material all substreams derive from
+	chanRand *rng.RNG        // the channel's shadowing stream (reseeded on Reset)
+	pkt      *packet.Factory // pooled frames shared by the whole simulation
 
 	// OnTransmit observes every frame put on the air (after MAC).
 	OnTransmit func(from *Node, p *packet.Packet)
@@ -95,11 +100,20 @@ type Network struct {
 // scheme.
 func New(topo *topology.Topology, cfg Config) *Network {
 	s := sim.New()
-	root := rng.New(cfg.Seed)
+	net := &Network{
+		Sim:   s,
+		Topo:  topo,
+		Nodes: make([]*Node, topo.N()),
+		pkt:   packet.NewFactory(),
+	}
+	net.root.Seed(cfg.Seed)
+	net.chanRand = net.root.Derive("channel")
+	net.Rand = net.root.Derive("network")
 	chCfg := channel.Config{
 		DisableCollisions: cfg.DisableCollisions,
 		ShadowingSigmaDB:  cfg.ShadowingSigmaDB,
-		Rand:              root.Derive("channel"),
+		Rand:              net.chanRand,
+		Pool:              net.pkt,
 	}
 	links := cfg.Links
 	if links == nil {
@@ -119,13 +133,7 @@ func New(topo *topology.Topology, cfg Config) *Network {
 		}
 	}
 	ch := channel.NewWithTable(s, links, chCfg)
-	net := &Network{
-		Sim:   s,
-		Topo:  topo,
-		Chan:  ch,
-		Nodes: make([]*Node, topo.N()),
-		Rand:  root.Derive("network"),
-	}
+	net.Chan = ch
 	ch.OnAir = func(from int, p *packet.Packet) {
 		n := net.Nodes[from]
 		if net.OnTransmit != nil {
@@ -142,12 +150,13 @@ func New(topo *topology.Topology, cfg Config) *Network {
 		}
 	}
 	for i := 0; i < topo.N(); i++ {
+		label := fmt.Sprintf("node-%d", i)
 		n := &Node{
-			ID:     packet.NodeID(i),
-			Pos:    i,
-			net:    net,
-			groups: make(map[packet.GroupID]bool),
-			Rand:   root.Derive(fmt.Sprintf("node-%d", i)),
+			ID:       packet.NodeID(i),
+			Pos:      i,
+			net:      net,
+			Rand:     net.root.Derive(label),
+			rngLabel: label,
 		}
 		switch cfg.MAC {
 		case MACCSMA:
@@ -189,6 +198,41 @@ func (net *Network) Start() {
 	}
 }
 
+// Reset rewinds the network to the state New would have produced for
+// (topo, links, seed), reusing every long-lived structure: the simulator's
+// pools, the channel (and its arrival free list), the MAC instances, the
+// packet factory and the per-node RNGs. The topology must have the same
+// node count and radio parameters as the one the network was built with.
+//
+// Every random substream is re-derived from the new seed exactly as New
+// derives it (Derive is a pure function of seed material and name), so a
+// reset network is bit-identical to a freshly built one. Protocol state is
+// not touched here — callers reset their routers separately.
+func (net *Network) Reset(topo *topology.Topology, links *channel.LinkTable, seed uint64) {
+	if topo.N() != len(net.Nodes) {
+		panic(fmt.Sprintf("network: Reset with %d-node topology, network has %d", topo.N(), len(net.Nodes)))
+	}
+	if links == nil {
+		panic("network: Reset requires a link table")
+	}
+	net.Sim.Reset()
+	net.root.Seed(seed)
+	net.root.DeriveInto("channel", net.chanRand)
+	net.root.DeriveInto("network", net.Rand)
+	net.Topo = topo
+	net.Chan.Reset(links)
+	for _, n := range net.Nodes {
+		net.root.DeriveInto(n.rngLabel, n.Rand)
+		n.groups = n.groups[:0]
+		n.down = false
+		n.mac.Reset(n.Rand)
+	}
+}
+
+// Packets returns the simulation's shared frame factory; protocols build
+// their outgoing frames through it so the channel can recycle them.
+func (net *Network) Packets() *packet.Factory { return net.pkt }
+
 // Run drives the simulation until the event queue drains.
 func (net *Network) Run() { net.Sim.Run() }
 
@@ -222,32 +266,59 @@ func (n *Node) After(d sim.Time, fn func()) sim.Event {
 	})
 }
 
+// AfterCall is the closure-free counterpart of After for protocol hot
+// paths. Unlike After, it does not wrap the callback in a liveness check:
+// the callee must test Down() itself if the node may fail mid-simulation.
+func (n *Node) AfterCall(d sim.Time, cb sim.Callback, arg any, i int) sim.Event {
+	return n.net.Sim.AfterCall(d, cb, arg, i)
+}
+
+// Packets returns the shared frame factory (see Network.Packets).
+func (n *Node) Packets() *packet.Factory { return n.net.pkt }
+
 // Now returns the current virtual time.
 func (n *Node) Now() sim.Time { return n.net.Sim.Now() }
 
 // JoinGroup adds the node to a multicast group (a "multicast receiver").
-func (n *Node) JoinGroup(g packet.GroupID) { n.groups[g] = true }
-
-// LeaveGroup removes the node from a multicast group.
-func (n *Node) LeaveGroup(g packet.GroupID) { delete(n.groups, g) }
-
-// InGroup reports group membership.
-func (n *Node) InGroup(g packet.GroupID) bool { return n.groups[g] }
-
-// Groups returns the node's memberships as a sorted-order-free slice.
-func (n *Node) Groups() []packet.GroupID {
-	out := make([]packet.GroupID, 0, len(n.groups))
-	for g := range n.groups {
-		out = append(out, g)
-	}
-	// Deterministic order for on-air encoding.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+func (n *Node) JoinGroup(g packet.GroupID) {
+	for i, x := range n.groups {
+		if x == g {
+			return
+		}
+		if x > g {
+			n.groups = append(n.groups, 0)
+			copy(n.groups[i+1:], n.groups[i:])
+			n.groups[i] = g
+			return
 		}
 	}
-	return out
+	n.groups = append(n.groups, g)
 }
+
+// LeaveGroup removes the node from a multicast group.
+func (n *Node) LeaveGroup(g packet.GroupID) {
+	for i, x := range n.groups {
+		if x == g {
+			n.groups = append(n.groups[:i], n.groups[i+1:]...)
+			return
+		}
+	}
+}
+
+// InGroup reports group membership.
+func (n *Node) InGroup(g packet.GroupID) bool {
+	for _, x := range n.groups {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// Groups returns the node's memberships in sorted order. The slice is the
+// node's own storage: callers must not modify or retain it (HELLO encoding
+// copies it into the frame).
+func (n *Node) Groups() []packet.GroupID { return n.groups }
 
 // Fail takes the node down: it stops sending, receiving and timing out.
 // Used by the failure-injection tests and the route-repair extension.

@@ -52,6 +52,14 @@ func New(cfg Config) *Router {
 // Config returns the router's configuration.
 func (r *Router) Config() Config { return r.cfg }
 
+// SetBackoff retunes the backoff in place for session reuse; ODMRP has no
+// N term, so only the jitter width (the sweep's δ) applies.
+func (r *Router) SetBackoff(_ int, delta sim.Time) {
+	if delta > 0 {
+		r.cfg.Jitter = delta
+	}
+}
+
 func (r *Router) queryDelay(b *proto.Base, q packet.JoinQuery, from packet.NodeID) sim.Time {
 	return b.Uniform(0, r.cfg.Jitter)
 }

@@ -69,6 +69,11 @@ type Packet struct {
 	JoinReply *JoinReply
 	Data      *Data
 	Geo       *GeoData
+
+	// Factory bookkeeping (see factory.go): pooled marks frames owned by a
+	// Factory; refs counts the channel events still referencing the frame.
+	pooled bool
+	refs   int32
 }
 
 // Hello is the periodic beacon exchanged during initialization (§IV.B):

@@ -17,6 +17,7 @@ package proto
 import (
 	"fmt"
 
+	"mtmrp/internal/bitset"
 	"mtmrp/internal/neighbor"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
@@ -82,10 +83,74 @@ type Route struct {
 	PathProfit int32
 }
 
-// jrKey deduplicates JoinReply relays per (session, originating receiver).
-type jrKey struct {
-	session  packet.FloodKey
-	receiver packet.NodeID
+// sessState is the flat per-session state block. A node participates in a
+// handful of sessions per run (one per discovery flood), so sessions live
+// in a small linearly-scanned slice instead of the half-dozen per-key maps
+// this package used to carry; nodes are dense indices, so the per-node
+// tables inside are plain slices and word-packed bitsets. Blocks are
+// recycled through a free list across Reset, so a reused node allocates
+// nothing once warm.
+type sessState struct {
+	key         packet.FloodKey
+	route       Route
+	hasRoute    bool
+	fg          bool // forwarding-group flag
+	coveredSelf bool // this receiver is covered
+	gotData     int  // data packets received
+	dataSeq     uint32
+
+	seenData bitset.Set // bit = DataSeq: duplicate suppression
+	seenJR   bitset.Set // bit = receiver id: JoinReply relay dedup
+
+	// repliesHeard, at the source, tracks distinct receivers whose
+	// JoinReply made it all the way back (bit = receiver id).
+	repliesHeard bitset.Set
+	repliesCount int
+
+	// nbrHop records each neighbor's hop distance to the source, learned
+	// from its JoinQuery rebroadcast (every copy carries the sender's hop
+	// count); -1 = unknown. The path handover scheme uses it to anchor
+	// only onto forwarders strictly closer to the source — without that
+	// condition, two nodes can hand their paths over to each other and
+	// strand every receiver below them (Algorithm 2 as written admits
+	// such cycles).
+	nbrHop []int32
+}
+
+// clear rewinds a (possibly recycled) block for a new session over n nodes.
+func (s *sessState) clear(key packet.FloodKey, n int) {
+	s.key = key
+	s.route = Route{}
+	s.hasRoute = false
+	s.fg = false
+	s.coveredSelf = false
+	s.gotData = 0
+	s.dataSeq = 0
+	s.seenData.Reset()
+	s.seenJR.Reset()
+	s.repliesHeard.Reset()
+	s.repliesCount = 0
+	if cap(s.nbrHop) < n {
+		s.nbrHop = make([]int32, n)
+	} else {
+		s.nbrHop = s.nbrHop[:n]
+	}
+	for i := range s.nbrHop {
+		s.nbrHop[i] = -1
+	}
+}
+
+// pending carries the arguments of a deferred protocol action (jittered
+// rebroadcast, reply, relay) through the scheduler without a closure.
+// Blocks come from a per-node free list; the callback returns its block
+// before acting, so a stable population covers steady-state traffic.
+type pending struct {
+	b   *Base
+	key packet.FloodKey
+	q   packet.JoinQuery
+	up  packet.NodeID
+	rcv packet.NodeID
+	d   packet.Data
 }
 
 // Base holds per-node protocol state and implements network.Protocol.
@@ -96,30 +161,14 @@ type Base struct {
 	hooks Hooks
 	name  string
 	rnd   *rng.RNG
+	n     int // network size, fixed at Attach
 
 	// NT is the one-hop neighbor table (exported for policy hooks).
 	NT *neighbor.Table
 
-	routes      map[packet.FloodKey]*Route
-	fg          map[packet.FloodKey]bool // forwarding-group flag per session
-	coveredSelf map[packet.FloodKey]bool // this receiver is covered
-	repliedJQ   map[packet.FloodKey]bool // JoinQuery already scheduled for rebroadcast
-	seenJR      map[jrKey]bool
-	seenData    map[packet.DataKey]bool
-	gotData     map[packet.FloodKey]int // data packets received per session
-	dataSeq     map[packet.FloodKey]uint32
-
-	// repliesHeard, at the source, counts distinct receivers whose
-	// JoinReply made it all the way back.
-	repliesHeard map[packet.FloodKey]map[packet.NodeID]bool
-
-	// nbrHop records each neighbor's hop distance to the source, learned
-	// from its JoinQuery rebroadcast (every copy carries the sender's hop
-	// count). The path handover scheme uses it to anchor only onto
-	// forwarders strictly closer to the source — without that condition,
-	// two nodes can hand their paths over to each other and strand every
-	// receiver below them (Algorithm 2 as written admits such cycles).
-	nbrHop map[packet.FloodKey]map[packet.NodeID]int32
+	sessions []*sessState
+	sessFree []*sessState
+	pendFree []*pending
 
 	nextSeq uint32
 
@@ -135,21 +184,74 @@ func NewBase(name string, cfg Config, hooks Hooks) *Base {
 	if hooks.QueryDelay == nil {
 		panic("proto: QueryDelay hook is required")
 	}
-	return &Base{
-		cfg:          cfg,
-		hooks:        hooks,
-		name:         name,
-		routes:       make(map[packet.FloodKey]*Route),
-		fg:           make(map[packet.FloodKey]bool),
-		coveredSelf:  make(map[packet.FloodKey]bool),
-		repliedJQ:    make(map[packet.FloodKey]bool),
-		seenJR:       make(map[jrKey]bool),
-		seenData:     make(map[packet.DataKey]bool),
-		gotData:      make(map[packet.FloodKey]int),
-		dataSeq:      make(map[packet.FloodKey]uint32),
-		repliesHeard: make(map[packet.FloodKey]map[packet.NodeID]bool),
-		nbrHop:       make(map[packet.FloodKey]map[packet.NodeID]int32),
+	return &Base{cfg: cfg, hooks: hooks, name: name}
+}
+
+// sess returns the state block for key, or nil.
+func (b *Base) sess(key packet.FloodKey) *sessState {
+	for _, s := range b.sessions {
+		if s.key == key {
+			return s
+		}
 	}
+	return nil
+}
+
+// ensureSess returns the state block for key, creating (or recycling) one.
+func (b *Base) ensureSess(key packet.FloodKey) *sessState {
+	if s := b.sess(key); s != nil {
+		return s
+	}
+	var s *sessState
+	if n := len(b.sessFree); n > 0 {
+		s = b.sessFree[n-1]
+		b.sessFree = b.sessFree[:n-1]
+	} else {
+		s = &sessState{}
+	}
+	s.clear(key, b.n)
+	b.sessions = append(b.sessions, s)
+	return s
+}
+
+// newPending takes an argument block from the free list.
+func (b *Base) newPending() *pending {
+	if n := len(b.pendFree); n > 0 {
+		pd := b.pendFree[n-1]
+		b.pendFree = b.pendFree[:n-1]
+		return pd
+	}
+	return &pending{b: b}
+}
+
+// freePending recycles a block; the caller must have copied out what it
+// needs (the block may be reissued by the action it triggers).
+func (b *Base) freePending(pd *pending) {
+	*pd = pending{b: pd.b}
+	b.pendFree = append(b.pendFree, pd)
+}
+
+// Reset rewinds the node to its just-attached state for session reuse:
+// all per-session state and the neighbor table are emptied in place and
+// the protocol RNG is re-derived from the node's (already reseeded)
+// stream, exactly as Attach derived it. Maintenance extensions are
+// disarmed; pending blocks still referenced by the previous simulator are
+// simply dropped (the simulator's Reset released them to the GC).
+func (b *Base) Reset() {
+	if b.node == nil {
+		panic(fmt.Sprintf("proto(%s): Reset before Attach", b.name))
+	}
+	b.node.Rand.DeriveInto("proto", b.rnd)
+	b.NT.Reset()
+	b.sessFree = append(b.sessFree, b.sessions...)
+	for i := range b.sessions {
+		b.sessions[i] = nil
+	}
+	b.sessions = b.sessions[:0]
+	b.nextSeq = 0
+	b.maint = nil
+	b.onRouteLoss = nil
+	b.repairs = 0
 }
 
 // Name returns the protocol label.
@@ -164,8 +266,10 @@ func (b *Base) Attach(n *network.Node) {
 		panic(fmt.Sprintf("proto(%s): double attach", b.name))
 	}
 	b.node = n
+	b.n = len(n.Net().Nodes)
 	b.rnd = n.Rand.Derive("proto")
 	b.NT = neighbor.NewTable(b.cfg.NeighborExpiry)
+	b.NT.Grow(b.n)
 }
 
 // Start implements network.Protocol: it schedules the HELLO rounds of the
@@ -173,12 +277,22 @@ func (b *Base) Attach(n *network.Node) {
 func (b *Base) Start() {
 	for round := 0; round < b.cfg.HelloRounds; round++ {
 		at := sim.Time(round)*b.cfg.HelloInterval + b.jitter(b.cfg.HelloJitter)
-		b.node.After(at, b.sendHello)
+		b.node.AfterCall(at, helloCB, b, 0)
 	}
 }
 
+// helloCB is the scheduled form of sendHello. AfterCall callbacks are not
+// wrapped in the node's liveness check, so it tests Down itself.
+func helloCB(arg any, _ int) {
+	b := arg.(*Base)
+	if b.node.Down() {
+		return
+	}
+	b.sendHello()
+}
+
 func (b *Base) sendHello() {
-	b.node.Send(packet.NewHello(b.node.ID, b.node.Groups()))
+	b.node.Send(b.node.Packets().NewHello(b.node.ID, b.node.Groups()))
 }
 
 // jitter returns U(0, max), or 0 when max is 0.
@@ -231,10 +345,10 @@ func (b *Base) FloodQuery(g packet.GroupID) packet.FloodKey {
 	}
 	key := q.Key()
 	// Pre-register so the echo of our own flood is a duplicate.
-	b.routes[key] = &Route{Upstream: packet.NoNode, HopCount: 0}
-	b.repliedJQ[key] = true
-	b.repliesHeard[key] = make(map[packet.NodeID]bool)
-	b.node.Send(packet.NewJoinQuery(b.node.ID, q))
+	s := b.ensureSess(key)
+	s.route = Route{Upstream: packet.NoNode, HopCount: 0}
+	s.hasRoute = true
+	b.node.Send(b.node.Packets().NewJoinQuery(b.node.ID, q))
 	return key
 }
 
@@ -243,43 +357,68 @@ func (b *Base) FloodQuery(g packet.GroupID) packet.FloodKey {
 // send successive packets of the session (distinct DataSeq), all forwarded
 // by the same tree.
 func (b *Base) SendData(key packet.FloodKey, payloadLen int) {
-	b.dataSeq[key]++
+	s := b.ensureSess(key)
+	s.dataSeq++
 	d := packet.Data{
 		SourceID:   key.Source,
 		GroupID:    key.Group,
 		SequenceNo: key.Seq,
-		DataSeq:    b.dataSeq[key],
+		DataSeq:    s.dataSeq,
 		PayloadLen: payloadLen,
 	}
-	b.seenData[d.PacketKey()] = true
-	b.gotData[key]++
-	b.node.Send(packet.NewData(b.node.ID, d))
+	s.seenData.Set(int(d.DataSeq))
+	s.gotData++
+	b.node.Send(b.node.Packets().NewData(b.node.ID, d))
 }
 
 // IsForwarder reports whether this node holds the session's FG flag.
-func (b *Base) IsForwarder(key packet.FloodKey) bool { return b.fg[key] }
+func (b *Base) IsForwarder(key packet.FloodKey) bool {
+	s := b.sess(key)
+	return s != nil && s.fg
+}
 
 // SetForwarder force-sets the FG flag (used by route-repair extensions and
 // tests).
-func (b *Base) SetForwarder(key packet.FloodKey) { b.fg[key] = true }
+func (b *Base) SetForwarder(key packet.FloodKey) { b.ensureSess(key).fg = true }
 
 // Covered reports whether this receiver marked itself covered.
-func (b *Base) Covered(key packet.FloodKey) bool { return b.coveredSelf[key] }
+func (b *Base) Covered(key packet.FloodKey) bool {
+	s := b.sess(key)
+	return s != nil && s.coveredSelf
+}
 
 // GotData reports whether any of the session's data packets reached this
 // node.
-func (b *Base) GotData(key packet.FloodKey) bool { return b.gotData[key] > 0 }
+func (b *Base) GotData(key packet.FloodKey) bool { return b.DataReceived(key) > 0 }
 
 // DataReceived returns how many distinct data packets of the session this
 // node received.
-func (b *Base) DataReceived(key packet.FloodKey) int { return b.gotData[key] }
+func (b *Base) DataReceived(key packet.FloodKey) int {
+	s := b.sess(key)
+	if s == nil {
+		return 0
+	}
+	return s.gotData
+}
 
 // RouteFor returns the learned reverse-path entry, or nil.
-func (b *Base) RouteFor(key packet.FloodKey) *Route { return b.routes[key] }
+func (b *Base) RouteFor(key packet.FloodKey) *Route {
+	s := b.sess(key)
+	if s == nil || !s.hasRoute {
+		return nil
+	}
+	return &s.route
+}
 
 // RepliesHeard returns, at the source, the number of distinct receivers
 // whose JoinReply completed the reverse path.
-func (b *Base) RepliesHeard(key packet.FloodKey) int { return len(b.repliesHeard[key]) }
+func (b *Base) RepliesHeard(key packet.FloodKey) int {
+	s := b.sess(key)
+	if s == nil {
+		return 0
+	}
+	return s.repliesCount
+}
 
 // HasUphillForwarder reports whether some neighbor is a known forwarder
 // for the session AND strictly closer to the source than this node. This
@@ -288,17 +427,16 @@ func (b *Base) RepliesHeard(key packet.FloodKey) int { return len(b.repliesHeard
 // count, so they always terminate at a source-adjacent forwarder and can
 // never form the mutual-handover cycles that strand receivers.
 func (b *Base) HasUphillForwarder(key packet.FloodKey) bool {
-	rt := b.routes[key]
-	if rt == nil {
+	s := b.sess(key)
+	if s == nil || !s.hasRoute {
 		return false
 	}
-	hops := b.nbrHop[key]
-	for _, id := range b.NT.IDs() {
-		e := b.NT.Entry(id)
+	for i, slots := 0, b.NT.Slots(); i < slots; i++ {
+		e := b.NT.At(i)
 		if e == nil || !e.Forwarder(key) {
 			continue
 		}
-		if h, ok := hops[id]; ok && h < rt.HopCount {
+		if h := s.nbrHop[e.ID]; h >= 0 && h < s.route.HopCount {
 			return true
 		}
 	}
@@ -308,8 +446,14 @@ func (b *Base) HasUphillForwarder(key packet.FloodKey) bool {
 // NeighborHop returns the learned hop distance of a neighbor for the
 // session, and whether it is known.
 func (b *Base) NeighborHop(key packet.FloodKey, id packet.NodeID) (int32, bool) {
-	h, ok := b.nbrHop[key][id]
-	return h, ok
+	s := b.sess(key)
+	if s == nil || int(id) >= len(s.nbrHop) {
+		return 0, false
+	}
+	if h := s.nbrHop[id]; h >= 0 {
+		return h, true
+	}
+	return 0, false
 }
 
 // --- JoinQuery path (§IV.C.1, Algorithm 1) ---
@@ -322,15 +466,11 @@ func (b *Base) onJoinQuery(p *packet.Packet) {
 	}
 	// Every copy — including duplicates — reveals the sender's own hop
 	// distance (a node rebroadcasts with HopCount equal to its distance).
-	hops := b.nbrHop[key]
-	if hops == nil {
-		hops = make(map[packet.NodeID]int32)
-		b.nbrHop[key] = hops
+	s := b.ensureSess(key)
+	if h := s.nbrHop[p.From]; h < 0 || q.HopCount < h {
+		s.nbrHop[p.From] = q.HopCount
 	}
-	if old, ok := hops[p.From]; !ok || q.HopCount < old {
-		hops[p.From] = q.HopCount
-	}
-	if _, dup := b.routes[key]; dup {
+	if s.hasRoute {
 		return // only the first copy is processed
 	}
 	if !b.NT.Reliable(p.From, b.cfg.MinHelloCount) {
@@ -339,17 +479,20 @@ func (b *Base) onJoinQuery(p *packet.Packet) {
 		// will be accepted instead.
 		return
 	}
-	b.routes[key] = &Route{
+	s.route = Route{
 		Upstream:   p.From,
 		HopCount:   q.HopCount + 1,
 		PathProfit: q.PathProfit,
 	}
+	s.hasRoute = true
 
 	if b.node.InGroup(key.Group) {
-		b.coveredSelf[key] = true
+		s.coveredSelf = true
 		silent := b.hooks.SuppressReply != nil && b.hooks.SuppressReply(b, key)
 		if !silent {
-			b.node.After(b.jitter(b.cfg.ReplyJitter), func() { b.originateReply(key) })
+			pd := b.newPending()
+			pd.key = key
+			b.node.AfterCall(b.jitter(b.cfg.ReplyJitter), replyCB, pd, 0)
 		}
 	}
 
@@ -358,7 +501,31 @@ func (b *Base) onJoinQuery(p *packet.Packet) {
 	if delay < 0 {
 		delay = 0
 	}
-	b.node.After(delay, func() { b.forwardJoinQuery(q) })
+	pd := b.newPending()
+	pd.q = q
+	b.node.AfterCall(delay, forwardJQCB, pd, 0)
+}
+
+// replyCB fires the jittered JoinReply origination of a covered receiver.
+func replyCB(arg any, _ int) {
+	pd := arg.(*pending)
+	b, key := pd.b, pd.key
+	b.freePending(pd)
+	if b.node.Down() {
+		return
+	}
+	b.originateReply(key)
+}
+
+// forwardJQCB fires the backoff-delayed JoinQuery rebroadcast.
+func forwardJQCB(arg any, _ int) {
+	pd := arg.(*pending)
+	b, q := pd.b, pd.q
+	b.freePending(pd)
+	if b.node.Down() {
+		return
+	}
+	b.forwardJoinQuery(q)
 }
 
 func (b *Base) forwardJoinQuery(q packet.JoinQuery) {
@@ -367,22 +534,22 @@ func (b *Base) forwardJoinQuery(q packet.JoinQuery) {
 	if b.hooks.OutPathProfit != nil {
 		out.PathProfit = b.hooks.OutPathProfit(b, q)
 	}
-	b.node.Send(packet.NewJoinQuery(b.node.ID, out))
+	b.node.Send(b.node.Packets().NewJoinQuery(b.node.ID, out))
 }
 
 func (b *Base) originateReply(key packet.FloodKey) {
-	rt := b.routes[key]
-	if rt == nil || rt.Upstream == packet.NoNode {
+	s := b.sess(key)
+	if s == nil || !s.hasRoute || s.route.Upstream == packet.NoNode {
 		return
 	}
 	r := packet.JoinReply{
-		NexthopID:  rt.Upstream,
+		NexthopID:  s.route.Upstream,
 		ReceiverID: b.node.ID,
 		SourceID:   key.Source,
 		GroupID:    key.Group,
 		SequenceNo: key.Seq,
 	}
-	b.node.Send(packet.NewJoinReply(b.node.ID, r))
+	b.node.Send(b.node.Packets().NewJoinReply(b.node.ID, r))
 }
 
 // --- JoinReply path (§IV.C.2, Algorithm 2) ---
@@ -410,54 +577,63 @@ func (b *Base) onJoinReply(p *packet.Packet) {
 
 	// We are the selected next hop.
 	if b.node.ID == key.Source {
-		heard := b.repliesHeard[key]
-		if heard == nil {
-			heard = make(map[packet.NodeID]bool)
-			b.repliesHeard[key] = heard
+		s := b.ensureSess(key)
+		if !s.repliesHeard.Test(int(r.ReceiverID)) {
+			s.repliesHeard.Set(int(r.ReceiverID))
+			s.repliesCount++
 		}
-		heard[r.ReceiverID] = true
 		return
 	}
 
-	jk := jrKey{session: key, receiver: r.ReceiverID}
-	if b.seenJR[jk] {
+	s := b.ensureSess(key)
+	if s.seenJR.Test(int(r.ReceiverID)) {
 		return
 	}
-	b.seenJR[jk] = true
+	s.seenJR.Set(int(r.ReceiverID))
 
 	// Path handover (Algorithm 2, lines 4-6): a known forwarder neighbor
 	// already provides a route toward the source.
 	if b.hooks.GraftOnReply != nil && b.hooks.GraftOnReply(b, key) {
-		b.fg[key] = true
+		s.fg = true
 		return
 	}
-	if b.fg[key] {
+	if s.fg {
 		return // already on the tree; the route exists
 	}
-	if b.node.InGroup(key.Group) && b.coveredSelf[key] {
+	if b.node.InGroup(key.Group) && s.coveredSelf {
 		// Covered receiver addressed as next hop: join the tree without
 		// relaying (its own JoinReply already built the upstream path).
-		b.fg[key] = true
+		s.fg = true
 		return
 	}
 
 	// Become a forwarder and propagate toward the source.
-	b.fg[key] = true
-	rt := b.routes[key]
-	if rt == nil || rt.Upstream == packet.NoNode {
+	s.fg = true
+	if !s.hasRoute || s.route.Upstream == packet.NoNode {
 		return // no reverse path (stale reply); flag stays set
 	}
-	up := rt.Upstream
-	rcv := r.ReceiverID
-	b.node.After(b.jitter(b.cfg.RelayJitter), func() {
-		b.node.Send(packet.NewJoinReply(b.node.ID, packet.JoinReply{
-			NexthopID:  up,
-			ReceiverID: rcv,
-			SourceID:   key.Source,
-			GroupID:    key.Group,
-			SequenceNo: key.Seq,
-		}))
-	})
+	pd := b.newPending()
+	pd.key = key
+	pd.up = s.route.Upstream
+	pd.rcv = r.ReceiverID
+	b.node.AfterCall(b.jitter(b.cfg.RelayJitter), relayJRCB, pd, 0)
+}
+
+// relayJRCB fires the jittered JoinReply relay of a new forwarder.
+func relayJRCB(arg any, _ int) {
+	pd := arg.(*pending)
+	b, key, up, rcv := pd.b, pd.key, pd.up, pd.rcv
+	b.freePending(pd)
+	if b.node.Down() {
+		return
+	}
+	b.node.Send(b.node.Packets().NewJoinReply(b.node.ID, packet.JoinReply{
+		NexthopID:  up,
+		ReceiverID: rcv,
+		SourceID:   key.Source,
+		GroupID:    key.Group,
+		SequenceNo: key.Seq,
+	}))
 }
 
 // --- Data forwarding (§IV.D) ---
@@ -465,17 +641,29 @@ func (b *Base) onJoinReply(p *packet.Packet) {
 func (b *Base) onData(p *packet.Packet) {
 	d := *p.Data
 	key := d.Key()
-	if b.seenData[d.PacketKey()] {
+	s := b.ensureSess(key)
+	if s.seenData.Test(int(d.DataSeq)) {
 		return // forward only the first copy of each packet
 	}
-	b.seenData[d.PacketKey()] = true
-	b.gotData[key]++
-	if !b.fg[key] {
+	s.seenData.Set(int(d.DataSeq))
+	s.gotData++
+	if !s.fg {
 		return
 	}
-	b.node.After(b.jitter(b.cfg.DataJitter), func() {
-		b.node.Send(packet.NewData(b.node.ID, d))
-	})
+	pd := b.newPending()
+	pd.d = d
+	b.node.AfterCall(b.jitter(b.cfg.DataJitter), relayDataCB, pd, 0)
+}
+
+// relayDataCB fires the jittered DATA relay of a forwarding-group node.
+func relayDataCB(arg any, _ int) {
+	pd := arg.(*pending)
+	b, d := pd.b, pd.d
+	b.freePending(pd)
+	if b.node.Down() {
+		return
+	}
+	b.node.Send(b.node.Packets().NewData(b.node.ID, d))
 }
 
 // Router is the interface the experiment harness drives. *Base satisfies
@@ -489,6 +677,9 @@ type Router interface {
 	Covered(key packet.FloodKey) bool
 	GotData(key packet.FloodKey) bool
 	RepliesHeard(key packet.FloodKey) int
+	// Reset rewinds the router to its just-attached state so the session
+	// pool can reuse a network across Monte-Carlo runs.
+	Reset()
 }
 
 var _ Router = (*Base)(nil)

@@ -64,11 +64,18 @@ func (b *Base) EnableMaintenance(mc MaintenanceConfig) {
 	b.NT.SetExpiry(mc.Expiry)
 	for round := 1; round <= mc.Rounds; round++ {
 		at := sim.Time(round)*mc.HelloInterval + b.jitter(mc.HelloJitter)
-		b.node.After(at, func() {
-			b.sendHello()
-			b.NT.Expire(b.node.Now())
-		})
+		b.node.AfterCall(at, maintHelloCB, b, 0)
 	}
+}
+
+// maintHelloCB is one steady-state beacon round: HELLO plus table aging.
+func maintHelloCB(arg any, _ int) {
+	b := arg.(*Base)
+	if b.node.Down() {
+		return
+	}
+	b.sendHello()
+	b.NT.Expire(b.node.Now())
 }
 
 // OnRouteLoss registers the callback fired when local repair is
@@ -86,14 +93,28 @@ func (b *Base) WatchSession(key packet.FloodKey) {
 	mc := *b.maint
 	for round := 1; round <= mc.Rounds; round++ {
 		at := sim.Time(round) * mc.CheckInterval
-		b.node.After(at, func() { b.auditSession(key, mc) })
+		pd := b.newPending()
+		pd.key = key
+		b.node.AfterCall(at, auditCB, pd, 0)
 	}
+}
+
+// auditCB fires one watchdog audit of a watched session.
+func auditCB(arg any, _ int) {
+	pd := arg.(*pending)
+	b, key := pd.b, pd.key
+	b.freePending(pd)
+	if b.node.Down() || b.maint == nil {
+		return
+	}
+	b.auditSession(key, *b.maint)
 }
 
 // auditSession checks whether the receiver still has a live route: either
 // a forwarder neighbor (data arrives by its broadcast) or a live upstream.
 func (b *Base) auditSession(key packet.FloodKey, mc MaintenanceConfig) {
-	if !b.node.InGroup(key.Group) || !b.coveredSelf[key] {
+	s := b.sess(key)
+	if s == nil || !b.node.InGroup(key.Group) || !s.coveredSelf {
 		return
 	}
 	now := b.node.Now()
@@ -105,9 +126,8 @@ func (b *Base) auditSession(key packet.FloodKey, mc MaintenanceConfig) {
 	}
 	// Local repair: re-originate a JoinReply along the cached reverse
 	// path, provided the upstream is still alive in the table.
-	rt := b.routes[key]
-	if rt != nil && rt.Upstream != packet.NoNode {
-		if e := b.NT.Entry(rt.Upstream); e != nil && now-e.LastSeen <= mc.Expiry {
+	if s.hasRoute && s.route.Upstream != packet.NoNode {
+		if e := b.NT.Entry(s.route.Upstream); e != nil && now-e.LastSeen <= mc.Expiry {
 			b.repairs++
 			b.originateReply(key)
 			return
@@ -122,8 +142,8 @@ func (b *Base) auditSession(key packet.FloodKey, mc MaintenanceConfig) {
 // liveForwarderNeighbor reports whether some neighbor marked forwarder for
 // the session was heard within the expiry window.
 func (b *Base) liveForwarderNeighbor(key packet.FloodKey, now, expiry sim.Time) bool {
-	for _, id := range b.NT.IDs() {
-		e := b.NT.Entry(id)
+	for i, slots := 0, b.NT.Slots(); i < slots; i++ {
+		e := b.NT.At(i)
 		if e != nil && e.Forwarder(key) && now-e.LastSeen <= expiry {
 			return true
 		}

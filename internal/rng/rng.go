@@ -54,6 +54,14 @@ type RNG struct {
 // New returns a generator seeded from the given seed via splitmix64.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed (re)initialises r in place to the stream New(seed) would produce.
+// Session pooling uses it to reseed long-lived generators without
+// allocating.
+func (r *RNG) Seed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&st)
@@ -63,22 +71,28 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Derive returns a new independent generator whose stream is a pure function
 // of (r's original seed material, name). Deriving the same name twice from
 // generators in the same state yields identical streams.
 func (r *RNG) Derive(name string) *RNG {
-	st := r.s[0] ^ rotl(r.s[1], 13) ^ hashString(name)
 	n := &RNG{}
-	for i := range n.s {
-		n.s[i] = splitmix64(&st)
-	}
-	if n.s[0]|n.s[1]|n.s[2]|n.s[3] == 0 {
-		n.s[0] = hashString(name) | 1
-	}
+	r.DeriveInto(name, n)
 	return n
+}
+
+// DeriveInto writes the stream Derive(name) would return into dst,
+// reusing its storage. dst may be any generator (its prior state is
+// overwritten); r is read without being advanced, exactly like Derive.
+func (r *RNG) DeriveInto(name string, dst *RNG) {
+	st := r.s[0] ^ rotl(r.s[1], 13) ^ hashString(name)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&st)
+	}
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = hashString(name) | 1
+	}
 }
 
 // Fork returns a new generator seeded from r's output, advancing r.

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkHoldModel exercises the event queue under the classic DES hold
+// model: a steady population of pending events where every fired event
+// schedules a successor at a pseudo-random offset. This isolates push/pop
+// from callback work, at the queue sizes dense sweeps reach.
+func BenchmarkHoldModel(b *testing.B) {
+	for _, size := range []int{64, 1024, 8192} {
+		b.Run(byteSize(size), func(b *testing.B) {
+			s := New()
+			rnd := uint64(0x9E3779B97F4A7C15)
+			next := func() Time {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				return Time(rnd % 1000)
+			}
+			var fire Callback
+			fire = func(arg any, _ int) {
+				s.AfterCall(next(), fire, nil, 0)
+			}
+			for j := 0; j < size; j++ {
+				s.AfterCall(next(), fire, nil, 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+func byteSize(n int) string {
+	switch n {
+	case 64:
+		return "64"
+	case 1024:
+		return "1k"
+	default:
+		return "8k"
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 
+	"mtmrp/internal/bitset"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
@@ -74,31 +75,30 @@ func (l *Logger) log(e Event) {
 // Err returns the first encoding/write error encountered.
 func (l *Logger) Err() error { return l.err }
 
-// Snapshot renders a field snapshot in the style of Figures 9–10.
+// Snapshot renders a field snapshot in the style of Figures 9–10. The
+// node sets are word-packed bitsets over the dense node indices.
 type Snapshot struct {
 	Side       float64
 	Positions  []geom.Point
 	Source     int
-	Receivers  map[int]bool
-	Forwarders map[int]bool // data transmitters other than the source
-	Cols, Rows int          // character grid; zero values take 61x31
+	Receivers  bitset.Set
+	Forwarders bitset.Set // data transmitters other than the source
+	Cols, Rows int        // character grid; zero values take 61x31
 }
 
 // NewSnapshot builds a snapshot over explicit sets.
 func NewSnapshot(side float64, pos []geom.Point, source int, receivers, forwarders []int) *Snapshot {
 	s := &Snapshot{
-		Side:       side,
-		Positions:  pos,
-		Source:     source,
-		Receivers:  make(map[int]bool, len(receivers)),
-		Forwarders: make(map[int]bool, len(forwarders)),
+		Side:      side,
+		Positions: pos,
+		Source:    source,
 	}
 	for _, r := range receivers {
-		s.Receivers[r] = true
+		s.Receivers.Set(r)
 	}
 	for _, f := range forwarders {
 		if f != source {
-			s.Forwarders[f] = true
+			s.Forwarders.Set(f)
 		}
 	}
 	return s
@@ -148,11 +148,11 @@ func (s *Snapshot) Render() string {
 		switch {
 		case i == s.Source:
 			ch = 'S'
-		case s.Receivers[i] && s.Forwarders[i]:
+		case s.Receivers.Test(i) && s.Forwarders.Test(i):
 			ch = 'X'
-		case s.Forwarders[i]:
+		case s.Forwarders.Test(i):
 			ch = '#'
-		case s.Receivers[i]:
+		case s.Receivers.Test(i):
 			ch = 'x'
 		default:
 			ch = '.'
@@ -177,11 +177,11 @@ func (s *Snapshot) Render() string {
 // matching the captions of Figures 9–10.
 func (s *Snapshot) Counts() (transmissions, extraNodes int) {
 	transmissions = 1 // the source
-	for f := range s.Forwarders {
+	s.Forwarders.Range(func(f int) {
 		transmissions++
-		if !s.Receivers[f] {
+		if !s.Receivers.Test(f) {
 			extraNodes++
 		}
-	}
+	})
 	return transmissions, extraNodes
 }
