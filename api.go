@@ -48,6 +48,9 @@ type (
 	Summary = stats.Summary
 	// Duration is virtual time in nanoseconds.
 	Duration = sim.Time
+	// SimStats is a simulator's observability snapshot (events processed,
+	// peak queue depth, events/sec), returned by Session.Stats.
+	SimStats = sim.Stats
 	// Snapshot renders a field view in the style of Figures 9–10.
 	Snapshot = trace.Snapshot
 	// Tree is a centralized multicast-tree construction result.

@@ -32,6 +32,7 @@ func main() {
 		packets  = flag.Int("packets", 1, "data packets to send down the constructed tree")
 		rounds   = flag.Int("rounds", 0, "discovery rounds before sending data (0 = protocol default)")
 		snapshot = flag.Bool("snapshot", false, "render the forwarder field")
+		stats    = flag.Bool("stats", false, "print simulator throughput stats (events/sec, peak queue depth)")
 		verbose  = flag.Bool("v", false, "print per-type transmission counts and per-phase event totals")
 		traceOut = flag.String("trace", "", "write a JSONL event log to this file (see traceview)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -45,7 +46,7 @@ func main() {
 		os.Exit(1)
 	}
 	if err := run(*topoKind, *topoFile, *nodes, *side, *txRange, *protoArg, *rcvCount,
-		*seed, *nParam, *deltaMs, *packets, *rounds, *snapshot, *verbose, *traceOut); err != nil {
+		*seed, *nParam, *deltaMs, *packets, *rounds, *snapshot, *stats, *verbose, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mtmrsim:", err)
 		stopProf() // flush profiles on the error path too; defers skip os.Exit
 		os.Exit(1)
@@ -55,7 +56,7 @@ func main() {
 
 func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg string,
 	rcvCount int, seed uint64, nParam int, deltaMs float64, packets, rounds int,
-	snapshot, verbose bool, traceOut string) error {
+	snapshot, stats, verbose bool, traceOut string) error {
 
 	var topo *mtmrp.Topology
 	var err error
@@ -138,6 +139,13 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 		fmt.Printf("bytes on air:            %d\n", r.BytesTx)
 		fmt.Printf("events by phase:         hello=%d discovery=%d data=%d\n",
 			helloEvents, discoveryEvents, dataEvents)
+	}
+	if stats {
+		st := s.Stats()
+		fmt.Printf("simulator events:        %d\n", st.Processed)
+		fmt.Printf("peak queue depth:        %d\n", st.MaxPending)
+		fmt.Printf("event-loop wall time:    %s\n", st.RunWall)
+		fmt.Printf("throughput:              %.0f events/sec\n", st.EventsPerSec)
 	}
 	if snapshot {
 		var fwd []int

@@ -97,6 +97,7 @@ type Channel struct {
 	stats  Stats
 
 	arrFree []*arrival // recycled arrival records
+	batch   sim.Batch  // per-transmission fan, flushed by ScheduleBatch
 
 	// OnAir, if set, observes every transmission (for metrics/tracing).
 	OnAir func(from int, p *packet.Packet)
@@ -234,12 +235,55 @@ var (
 		a := arg.(*arrival)
 		a.ch.endArrival(i, a)
 	}
+	// Fused callbacks for decodable links: a receiver inside the decode
+	// disc is also inside the CS disc, and its carrier edge and arrival
+	// edge land at the same instant — one event does both, halving the
+	// per-receiver event count. The intra-node order (carrier first, then
+	// arrival) matches the order the split events fired in: within one
+	// transmission's fan the sequence numbers are contiguous, so the only
+	// events that sat between a node's signal and arrival edges were other
+	// nodes' edges from the same fan, which commute with this node's.
+	sigArrStartCB = func(arg any, i int) {
+		a := arg.(*arrival)
+		a.ch.signalStart(i)
+		a.ch.startArrival(i, a)
+	}
+	sigArrEndCB = func(arg any, i int) {
+		a := arg.(*arrival)
+		a.ch.signalEnd(i)
+		a.ch.endArrival(i, a)
+	}
 )
 
 // Transmit puts a frame on the air from node i and returns its on-air
 // duration. The caller (MAC) must not start a second transmission from the
 // same node before the returned duration elapses.
 func (c *Channel) Transmit(i int, p *packet.Packet) sim.Time {
+	dur := c.transmitInto(i, p)
+	c.sim.ScheduleBatch(&c.batch)
+	return dur
+}
+
+// TransmitThen transmits like Transmit and additionally schedules
+// cb(arg, argi) at the moment the transmission ends, riding in the same
+// bulk insertion as the channel's own events. MACs use it for their
+// tx-done timer: the callback is appended after every channel event, so
+// the (at, seq) order is bit-identical to calling Transmit and then
+// AfterCall(dur, ...) — but the whole fan costs one ScheduleBatch. No
+// handle is returned; the callback cannot be cancelled.
+func (c *Channel) TransmitThen(i int, p *packet.Packet, cb sim.Callback, arg any, argi int) sim.Time {
+	dur := c.transmitInto(i, p)
+	c.batch.AfterCall(dur, cb, arg, argi)
+	c.sim.ScheduleBatch(&c.batch)
+	return dur
+}
+
+// transmitInto stages the whole per-link event fan of one transmission —
+// tx end, carrier sense edges, frame arrivals — into c.batch. The
+// timestamps are all computed here together, so the ladder queue places
+// them with O(1) bucket appends in one bulk insertion instead of
+// per-event scheduling.
+func (c *Channel) transmitInto(i int, p *packet.Packet) sim.Time {
 	st := &c.state[i]
 	if st.transmitting {
 		panic(fmt.Sprintf("channel: node %d transmit while transmitting", i))
@@ -262,29 +306,33 @@ func (c *Channel) Transmit(i int, p *packet.Packet) sim.Time {
 	}
 	// The node senses its own signal.
 	c.signalStart(i)
-	c.sim.AfterCall(dur, txEndCB, c, i)
+	c.batch.AfterCall(dur, txEndCB, c, i)
 
-	// Carrier sensing at every node in the CS disc.
-	for _, l := range c.links.cs[i] {
-		c.sim.AfterCall(l.delay, sigStartCB, c, l.to)
-		c.sim.AfterCall(l.delay+dur, sigEndCB, c, l.to)
-	}
-	// Frame arrival at every node that decodes this transmission. With
-	// shadowing enabled the candidate set widens to the carrier disc and
-	// each link rolls its own fading draw.
-	arrivalLinks := c.links.rx[i]
-	if c.cfg.ShadowingSigmaDB > 0 {
-		arrivalLinks = c.links.cs[i]
-	}
+	// One pass over the CS disc, walking the rx list (a subset, both
+	// ascending by destination) in lockstep. A node that decodes the frame
+	// gets one fused carrier+arrival event per edge; a node that only
+	// senses it gets plain carrier events. With shadowing enabled the
+	// arrival candidates widen to the whole carrier disc and each link
+	// rolls its own fading draw, in CS-list order (the same draw order as
+	// the separate arrival loop this replaces).
+	shadow := c.cfg.ShadowingSigmaDB > 0
+	rxl := c.links.rx[i]
+	ri := 0
 	refs := int32(1) // the tx-end event
-	for _, l := range arrivalLinks {
-		if !c.decodable(l) {
-			continue
+	for _, l := range c.links.cs[i] {
+		inRX := ri < len(rxl) && rxl[ri].to == l.to
+		if inRX {
+			ri++
 		}
-		a := c.newArrival(p)
-		refs++
-		c.sim.AfterCall(l.delay, arrStartCB, a, l.to)
-		c.sim.AfterCall(l.delay+dur, arrEndCB, a, l.to)
+		if (inRX || shadow) && c.decodable(l) {
+			a := c.newArrival(p)
+			refs++
+			c.batch.AfterCall(l.delay, sigArrStartCB, a, l.to)
+			c.batch.AfterCall(l.delay+dur, sigArrEndCB, a, l.to)
+		} else {
+			c.batch.AfterCall(l.delay, sigStartCB, c, l.to)
+			c.batch.AfterCall(l.delay+dur, sigEndCB, c, l.to)
+		}
 	}
 	if c.cfg.Pool != nil {
 		c.cfg.Pool.Hold(p, refs)

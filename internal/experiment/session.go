@@ -249,6 +249,12 @@ func (s *Session) Routers() []proto.Router { return s.routers }
 // session's true work measure, surfaced per run by the sweep engine.
 func (s *Session) Events() uint64 { return s.net.Sim.Processed() }
 
+// Stats returns the underlying simulator's observability counters for
+// everything run so far: events processed, peak queue depth, wall time
+// inside the event loop and the resulting events/sec throughput
+// (cmd/mtmrsim -stats prints them).
+func (s *Session) Stats() sim.Stats { return s.net.Sim.Stats() }
+
 // Err reports a trace-log write failure, if any.
 func (s *Session) Err() error {
 	if s.logger != nil && s.logger.Err() != nil {

@@ -207,8 +207,12 @@ func (m *CSMA) transmit() {
 	p := m.pop()
 	m.state = csmaTx
 	m.slots = -1
-	dur := m.ch.Transmit(m.idx, p)
-	m.timer = m.sim.AfterCall(dur, csmaTxDoneCB, m, 0)
+	// The tx-done timer rides in the channel's bulk insertion, appended
+	// after the whole event fan — the same (at, seq) order as a separate
+	// AfterCall. No handle is kept: the timer is never cancelled while in
+	// csmaTx (CarrierChanged ignores that state).
+	m.timer = sim.Event{}
+	m.ch.TransmitThen(m.idx, p, csmaTxDoneCB, m, 0)
 }
 
 // CarrierChanged implements channel.Radio.
@@ -303,8 +307,7 @@ func (m *Ideal) next() {
 	p := m.queue[m.head]
 	m.queue[m.head] = nil
 	m.head++
-	dur := m.ch.Transmit(m.idx, p)
-	m.sim.AfterCall(dur, idealNextCB, m, 0)
+	m.ch.TransmitThen(m.idx, p, idealNextCB, m, 0)
 }
 
 // FrameReceived implements channel.Radio.

@@ -1,0 +1,59 @@
+package sim
+
+// refHeap is the binary heap of pointer-free entries that was the
+// simulator's event queue before the ladder queue (ladder.go) replaced
+// it. It is kept, verbatim, as the reference implementation for the
+// randomized differential tests: execution order is a pure function of
+// the (at, seq) total order, so the ladder-backed simulator must pop the
+// exact sequence this heap pops for any interleaving of schedules and
+// cancellations (TestLadderMatchesRefHeap, TestSchedulerDifferential).
+//
+// Sift operations move a hole through a hoisted local slice instead of
+// swapping through the field: one final store per operation rather than
+// three per level, and bounds checks the compiler can reason about.
+type refHeap []entry
+
+// push inserts e, restoring the heap order by (at, seq).
+func (hp *refHeap) push(e entry) {
+	*hp = append(*hp, e)
+	h := *hp
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// pop removes and returns the minimum entry.
+func (hp *refHeap) pop() entry {
+	root := (*hp)[0]
+	n := len(*hp) - 1
+	h := (*hp)[:n]
+	e := (*hp)[n]
+	*hp = h
+	if n == 0 {
+		return root
+	}
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			l = r
+		}
+		if !h[l].less(e) {
+			break
+		}
+		h[i] = h[l]
+		i = l
+	}
+	h[i] = e
+	return root
+}

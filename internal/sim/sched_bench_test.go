@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedulerHold exercises the event queue under the classic DES
+// hold model: a steady population of pending events where every fired
+// event schedules a successor at a pseudo-random offset. This isolates
+// push/pop from callback work, at the queue sizes dense sweeps reach.
+func BenchmarkSchedulerHold(b *testing.B) {
+	for _, size := range []int{64, 1024, 8192} {
+		b.Run(byteSize(size), func(b *testing.B) {
+			s := New()
+			rnd := uint64(0x9E3779B97F4A7C15)
+			next := func() Time {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				return Time(rnd % 1000)
+			}
+			var fire Callback
+			fire = func(arg any, _ int) {
+				s.AfterCall(next(), fire, nil, 0)
+			}
+			for j := 0; j < size; j++ {
+				s.AfterCall(next(), fire, nil, 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleBatch measures bulk insertion of a transmission-style
+// fan — one tx-end plus paired start/end events across a neighborhood —
+// batched against the same fan scheduled one AfterCall at a time, with a
+// full drain between fans so the queue runs at steady state.
+func BenchmarkScheduleBatch(b *testing.B) {
+	const links = 32
+	cb := func(any, int) {}
+	b.Run("batch", func(b *testing.B) {
+		s := New()
+		var batch Batch
+		for i := 0; i < b.N; i++ {
+			batch.AfterCall(400, cb, nil, 0)
+			for l := 0; l < links; l++ {
+				d := Time(100 + 3*l)
+				batch.AfterCall(d, cb, nil, l)
+				batch.AfterCall(d+400, cb, nil, l)
+			}
+			s.ScheduleBatch(&batch)
+			s.Run()
+		}
+	})
+	b.Run("single", func(b *testing.B) {
+		s := New()
+		for i := 0; i < b.N; i++ {
+			s.AfterCall(400, cb, nil, 0)
+			for l := 0; l < links; l++ {
+				d := Time(100 + 3*l)
+				s.AfterCall(d, cb, nil, l)
+				s.AfterCall(d+400, cb, nil, l)
+			}
+			s.Run()
+		}
+	})
+}
+
+func byteSize(n int) string {
+	switch n {
+	case 64:
+		return "64"
+	case 1024:
+		return "1k"
+	default:
+		return "8k"
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"time"
 )
 
 // Event is a handle to a scheduled callback, returned by At/After/AtCall/
@@ -24,9 +25,14 @@ type Event struct {
 // At returns the virtual time the event is (or was) scheduled for.
 func (e Event) At() Time { return e.at }
 
-// Pending reports whether the event is still queued.
+// Pending reports whether the event is still queued. A handle retained
+// across a Simulator.Reset points past the truncated arena until the slot
+// is reallocated; the bounds check keeps such stale handles inert instead
+// of panicking (handles should still be discarded on reset: once the
+// arena regrows, an old handle can alias a new event of the same
+// generation).
 func (e Event) Pending() bool {
-	return e.s != nil && e.s.events[e.id].gen == e.gen
+	return e.s != nil && int(e.id) < len(e.s.events) && e.s.events[e.id].gen == e.gen
 }
 
 // Callback is the closure-free callback form used by AtCall/AfterCall: the
@@ -34,10 +40,9 @@ func (e Event) Pending() bool {
 // instead of being captured, so hot paths schedule without allocating.
 type Callback func(arg any, i int)
 
-// entry is one heap element. It is pointer-free by design: sift operations
-// move plain values through contiguous memory, with no write barriers and
-// no per-event index maintenance, which is where a pointer heap spends most
-// of its time on dense workloads.
+// entry is one queue element. It is pointer-free by design: tier
+// transfers and sorts move plain values through contiguous memory, with
+// no write barriers and no per-event index maintenance.
 type entry struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among simultaneous events
@@ -45,8 +50,8 @@ type entry struct {
 	gen uint32 // generation the entry was scheduled under
 }
 
-// event is the pooled callback record. at/seq live only in the heap entry;
-// the record holds what must survive until the event fires.
+// event is the pooled callback record. at/seq live only in the queue
+// entry; the record holds what must survive until the event fires.
 type event struct {
 	gen  uint32
 	fn   func()
@@ -62,18 +67,22 @@ type event struct {
 //
 // Execution order is a pure function of the (at, seq) total order, so the
 // internal queue representation (and the event pooling underneath it) can
-// never perturb a run.
+// never perturb a run. The queue is a two-tier ladder queue (ladder.go);
+// the binary heap it replaced survives as the differential-test reference
+// (refheap.go).
 //
 // Simulator is not safe for concurrent use: the whole point of a DES is
 // that virtual concurrency is multiplexed onto one goroutine.
 type Simulator struct {
 	now       Time
-	heap      []entry
+	q         ladder
 	events    []event  // arena of pooled event records, indexed by entry.id
 	free      []uint32 // free list of recycled arena slots
 	live      int      // scheduled events not yet fired or cancelled
+	maxLive   int      // high-water mark of live (queue depth)
 	seq       uint64
 	processed uint64
+	runWall   time.Duration // wall time spent inside Run/RunUntil
 	running   bool
 }
 
@@ -83,24 +92,27 @@ func New() *Simulator {
 }
 
 // Reset returns the simulator to its initial state — clock at 0, empty
-// queue, zeroed counters — while keeping the heap and event-arena storage
-// for reuse. Execution order is a pure function of (at, seq), both of
-// which restart from zero, so a reset simulator behaves bit-identically
-// to a fresh one. Outstanding Event handles from before the reset must be
-// discarded by their holders (generation counters restart too).
+// queue, zeroed counters — while keeping the queue tiers and event-arena
+// storage for reuse. Execution order is a pure function of (at, seq),
+// both of which restart from zero, so a reset simulator behaves
+// bit-identically to a fresh one. Outstanding Event handles from before
+// the reset must be discarded by their holders (generation counters
+// restart too).
 func (s *Simulator) Reset() {
 	// Drop lingering callback references so recycled slots do not pin the
 	// previous run's objects; the slice lengths (not capacities) go to 0.
 	for i := range s.events {
 		s.events[i] = event{}
 	}
-	s.heap = s.heap[:0]
+	s.q.reset()
 	s.events = s.events[:0]
 	s.free = s.free[:0]
 	s.now = 0
 	s.live = 0
+	s.maxLive = 0
 	s.seq = 0
 	s.processed = 0
+	s.runWall = 0
 	s.running = false
 }
 
@@ -112,6 +124,27 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently queued.
 func (s *Simulator) Pending() int { return s.live }
+
+// Stats is a snapshot of the simulator's observability counters, reset
+// alongside the simulator (so "per run" means "since the last Reset").
+type Stats struct {
+	Processed    uint64        // events executed
+	MaxPending   int           // high-water mark of the pending-event queue
+	RunWall      time.Duration // wall time spent inside Run/RunUntil
+	EventsPerSec float64       // Processed / RunWall (0 before any run)
+}
+
+// Stats returns the current counters. EventsPerSec measures the
+// scheduler's true throughput — virtual events retired per wall-clock
+// second of Run/RunUntil — independent of how much virtual time a run
+// spans.
+func (s *Simulator) Stats() Stats {
+	st := Stats{Processed: s.processed, MaxPending: s.maxLive, RunWall: s.runWall}
+	if s.runWall > 0 {
+		st.EventsPerSec = float64(s.processed) / s.runWall.Seconds()
+	}
+	return st
+}
 
 // alloc takes an event record from the free list, or grows the arena.
 func (s *Simulator) alloc() uint32 {
@@ -130,9 +163,12 @@ func (s *Simulator) schedule(t Time, id uint32) Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	gen := s.events[id].gen
-	s.push(entry{at: t, seq: s.seq, id: id, gen: gen})
+	s.q.push(entry{at: t, seq: s.seq, id: id, gen: gen})
 	s.seq++
 	s.live++
+	if s.live > s.maxLive {
+		s.maxLive = s.live
+	}
 	return Event{s: s, id: id, gen: gen, at: t}
 }
 
@@ -180,12 +216,82 @@ func (s *Simulator) AfterCall(d Time, cb Callback, arg any, i int) Event {
 	return s.AtCall(s.now+d, cb, arg, i)
 }
 
+// Batch accumulates closure-free callback schedules whose delays were
+// computed together, for bulk insertion via ScheduleBatch. The zero value
+// is ready to use; the backing storage is retained across flushes, so a
+// long-lived Batch (e.g. the channel's per-transmission fan) schedules
+// with zero allocations in the steady state.
+type Batch struct {
+	calls []batchCall
+}
+
+type batchCall struct {
+	d    Time
+	cb   Callback
+	arg  any
+	argi int
+}
+
+// AfterCall appends cb(arg, i), to run d after the simulator's clock at
+// the moment the batch is flushed by ScheduleBatch. Arguments are
+// validated here, at the call site that computed them.
+func (b *Batch) AfterCall(d Time, cb Callback, arg any, i int) {
+	if cb == nil {
+		panic("sim: scheduling nil callback")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	b.calls = append(b.calls, batchCall{d: d, cb: cb, arg: arg, argi: i})
+}
+
+// Len returns the number of accumulated calls.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// reset empties the batch. The retained storage keeps the last flush's
+// argument references until the next fill overwrites them — fine for the
+// intended callers (the channel's arguments are pooled, simulation-lived
+// objects), and it keeps the flush free of an O(n) clearing pass.
+func (b *Batch) reset() {
+	b.calls = b.calls[:0]
+}
+
+// ScheduleBatch schedules every call in b, in append order, exactly as
+// the equivalent sequence of AfterCall invocations would (same (at, seq)
+// assignment, hence bit-identical execution order), then empties b.
+//
+// The bulk path exists for fan-out schedules — one transmission arming a
+// whole per-link arrival fan — where the ladder queue places each entry
+// with an O(1) bucket append and no per-event sift, and a single call
+// amortizes the handle construction and validation of the one-at-a-time
+// path. No handles are returned: batched events cannot be individually
+// cancelled.
+func (s *Simulator) ScheduleBatch(b *Batch) {
+	for k := range b.calls {
+		c := &b.calls[k]
+		id := s.alloc()
+		ev := &s.events[id]
+		ev.cb = c.cb
+		ev.arg = c.arg
+		ev.argi = c.argi
+		s.q.push(entry{at: s.now + c.d, seq: s.seq, id: id, gen: ev.gen})
+		s.seq++
+	}
+	s.live += len(b.calls)
+	if s.live > s.maxLive {
+		s.maxLive = s.live
+	}
+	b.reset()
+}
+
 // Cancel removes e from the queue. Cancelling an already-fired or
 // already-cancelled event is a no-op (the handle has gone stale), so
-// callers need not track state. Cancellation is lazy: the heap entry is
-// discarded when it reaches the front, which keeps Cancel O(1).
+// callers need not track state. Cancellation is lazy: the queue entry is
+// discarded when it reaches the front, which keeps Cancel O(1). Handles
+// retained across a Reset are inert while their slot is unallocated (see
+// Event.Pending).
 func (s *Simulator) Cancel(e Event) {
-	if e.s == nil {
+	if e.s == nil || int(e.id) >= len(e.s.events) {
 		return
 	}
 	ev := &e.s.events[e.id]
@@ -195,38 +301,30 @@ func (s *Simulator) Cancel(e Event) {
 	ev.gen++
 	ev.fn, ev.cb, ev.arg = nil, nil, nil
 	e.s.live--
-	// The arena slot is recycled when the stale heap entry is popped.
+	// The arena slot is recycled when the stale queue entry surfaces.
 }
 
-// front discards cancelled entries and returns the next live one, if any.
-func (s *Simulator) front() (entry, bool) {
-	for len(s.heap) > 0 {
-		en := s.heap[0]
+// next discards cancelled entries and returns the next live one, if any,
+// leaving it at the front of the queue. Step and RunUntil both run on
+// this single peek: the entry is read (and stale-filtered) exactly once,
+// then committed by exec.
+func (s *Simulator) next() (entry, bool) {
+	for {
+		en, ok := s.q.peek()
+		if !ok {
+			return entry{}, false
+		}
 		if s.events[en.id].gen == en.gen {
 			return en, true
 		}
-		s.pop()
+		s.q.popFront()
 		s.free = append(s.free, en.id)
 	}
-	return entry{}, false
 }
 
-// Step executes the next event, if any, and reports whether one ran. The
-// stale-entry skip is inlined (rather than delegated to front) so the live
-// root is read and popped exactly once per event.
-func (s *Simulator) Step() bool {
-	var en entry
-	for {
-		if len(s.heap) == 0 {
-			return false
-		}
-		en = s.heap[0]
-		s.pop()
-		if s.events[en.id].gen == en.gen {
-			break
-		}
-		s.free = append(s.free, en.id)
-	}
+// exec commits and executes the entry returned by next.
+func (s *Simulator) exec(en entry) {
+	s.q.popFront()
 	ev := &s.events[en.id]
 	fn, cb, arg, argi := ev.fn, ev.cb, ev.arg, ev.argi
 	// Recycle before running: the callback may schedule new events straight
@@ -243,102 +341,65 @@ func (s *Simulator) Step() bool {
 	} else {
 		fn()
 	}
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Simulator) Step() bool {
+	en, ok := s.next()
+	if !ok {
+		return false
+	}
+	s.exec(en)
 	return true
 }
 
 // Run executes events until the queue is empty.
 func (s *Simulator) Run() {
+	start := time.Now()
 	s.running = true
-	for s.running && s.Step() {
+	for s.running {
+		en, ok := s.next()
+		if !ok {
+			break
+		}
+		s.exec(en)
 	}
 	s.running = false
+	s.runWall += time.Since(start)
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
-// t (even if the queue still holds later events).
+// t (even if the queue still holds later events). The front entry is
+// peeked once: if it is due it is executed directly, without re-scanning
+// the queue head.
 func (s *Simulator) RunUntil(t Time) {
+	start := time.Now()
 	s.running = true
 	for s.running {
-		en, ok := s.front()
+		en, ok := s.next()
 		if !ok || en.at > t {
 			break
 		}
-		s.Step()
+		s.exec(en)
 	}
 	s.running = false
 	if s.now < t {
 		s.now = t
 	}
+	s.runWall += time.Since(start)
 }
 
 // Stop makes the current Run/RunUntil return after the active callback.
 func (s *Simulator) Stop() { s.running = false }
 
-// --- binary heap of pointer-free entries, ordered by (at, seq) ---
-//
-// Sift operations move a hole through a hoisted local slice instead of
-// swapping through the field: one final store per operation rather than
-// three per level, and bounds checks the compiler can reason about.
-//
-// The representation is irrelevant to simulation results: (at, seq) is a
-// strict total order, so the pop sequence — and therefore execution order —
-// is identical for any valid heap shape.
-
 // less orders entries by (at, seq) lexicographically, computed as one
 // branchless 128-bit unsigned compare through the carry chain (at is never
 // negative — scheduling in the past panics). The branchy form mispredicts
-// heavily inside heap sifts: grid topologies produce many equal propagation
-// delays, so timestamp ties are common and the tie-break branch is
-// data-dependent. Going branchless is worth ~6% on the sweep benchmark.
+// heavily inside sorts and sifts: grid topologies produce many equal
+// propagation delays, so timestamp ties are common and the tie-break
+// branch is data-dependent.
 func (e entry) less(o entry) bool {
 	_, b := bits.Sub64(e.seq, o.seq, 0)
 	_, b = bits.Sub64(uint64(e.at), uint64(o.at), b)
 	return b != 0
-}
-
-func (s *Simulator) push(e entry) {
-	s.heap = append(s.heap, e)
-	h := s.heap
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		i = parent
-	}
-	h[i] = e
-}
-
-// pop removes the root entry (the caller has already read it).
-//
-// (A bottom-up "sift hole to leaf, bubble element up" variant was measured
-// and rejected: in this workload the back-of-array replacement is often a
-// just-pushed near-future event, so the bubble-up leg is long and the
-// variant loses ~7% on the sweep benchmark.)
-func (s *Simulator) pop() {
-	n := len(s.heap) - 1
-	h := s.heap[:n]
-	e := s.heap[n]
-	s.heap = h
-	if n == 0 {
-		return
-	}
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		if r := l + 1; r < n && h[r].less(h[l]) {
-			l = r
-		}
-		if !h[l].less(e) {
-			break
-		}
-		h[i] = h[l]
-		i = l
-	}
-	h[i] = e
 }
