@@ -6,6 +6,7 @@ import (
 	"mtmrp/internal/centralized"
 	"mtmrp/internal/channel"
 	"mtmrp/internal/experiment"
+	"mtmrp/internal/fault"
 	"mtmrp/internal/experiment/sweep"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/graph"
@@ -48,9 +49,6 @@ type (
 	Summary = stats.Summary
 	// Duration is virtual time in nanoseconds.
 	Duration = sim.Time
-	// SimStats is a simulator's observability snapshot (events processed,
-	// peak queue depth, events/sec), returned by Session.Stats.
-	SimStats = sim.Stats
 	// Snapshot renders a field view in the style of Figures 9–10.
 	Snapshot = trace.Snapshot
 	// Tree is a centralized multicast-tree construction result.
@@ -67,6 +65,65 @@ const (
 	Millisecond = sim.Millisecond
 	Second      = sim.Second
 )
+
+// Grouped Scenario options. The flat Scenario fields with the same names
+// remain as deprecated aliases; either spelling (or a mix) produces
+// bit-identical results.
+type (
+	// RadioOptions groups the PHY/MAC knobs of a Scenario.
+	RadioOptions = experiment.RadioOptions
+	// TrafficOptions groups the traffic-shape knobs: payload, packet count,
+	// discovery rounds, pacing interval and in-traffic route refresh.
+	TrafficOptions = experiment.TrafficOptions
+	// FaultOptions groups the fault-injection knobs: a crash/degrade
+	// schedule, a channel loss model and the forwarder soft-state expiry.
+	FaultOptions = experiment.FaultOptions
+	// DataReport is Session.RunData's per-call outcome: packets actually
+	// sent and, per packet, how many receivers a first copy reached.
+	DataReport = experiment.DataReport
+	// Robustness carries the fault-tolerance metrics of one session:
+	// per-receiver packet delivery ratios, closed delivery gaps (repairs)
+	// and the mean time to repair.
+	Robustness = metrics.Robustness
+)
+
+// Fault-injection layer: deterministic node crashes, link degradation and
+// bursty channel loss, injected as ordinary simulator events (see
+// Scenario.Faults and the FaultSweep driver).
+type (
+	// FaultSchedule is an ordered list of fault events for one run.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault: node, kind, virtual time.
+	FaultEvent = fault.Event
+	// FaultKind is the fault event type (crash, recover, degrade, restore).
+	FaultKind = fault.Kind
+	// FaultPlan parameterises PlanFaults' random schedule generator.
+	FaultPlan = fault.PlanConfig
+	// LossModel is a Gilbert–Elliott bursty channel loss model; zero value
+	// drops nothing, DefaultLossModel returns the calibrated defaults.
+	LossModel = channel.LossConfig
+)
+
+// Fault event kinds for FaultEvent.Kind.
+const (
+	NodeCrash   = fault.NodeCrash
+	NodeRecover = fault.NodeRecover
+	LinkDegrade = fault.LinkDegrade
+	LinkRestore = fault.LinkRestore
+)
+
+// PlanFaults draws a random fault schedule from a dedicated seed: each
+// unprotected node faults with probability cfg.FailFraction at a uniform
+// time in [Start, Start+Window). The schedule is a pure function of
+// (cfg, seed).
+func PlanFaults(cfg FaultPlan, seed uint64) FaultSchedule {
+	return fault.Plan(cfg, rng.New(seed))
+}
+
+// DefaultLossModel returns the calibrated Gilbert–Elliott parameters: a
+// mean burst length of four frames, lossless good state, total loss in
+// the bad state, and a 50% drop rate on degraded links.
+func DefaultLossModel() LossModel { return channel.DefaultLossConfig() }
 
 // Run executes one complete multicast session: HELLO phase, JoinQuery
 // flood, JoinReply tree construction, one data packet down the tree.
@@ -111,13 +168,10 @@ type (
 	SweepStats = sweep.Stats
 	// Progress is one progress-callback observation (done/total, ETA).
 	Progress = sweep.Progress
-	// ProgressFunc receives Progress updates during a sweep.
-	ProgressFunc = sweep.ProgressFunc
 	// ErrorPolicy selects how a sweep reacts to failing runs.
 	ErrorPolicy = sweep.ErrorPolicy
-	// JobError is one failed run, labelled for reproduction.
-	JobError = sweep.JobError
-	// SweepErrors aggregates failed runs under CollectErrors.
+	// SweepErrors aggregates failed runs under CollectErrors; each element
+	// carries the failing run's label for reproduction.
 	SweepErrors = sweep.Errors
 )
 
@@ -268,6 +322,32 @@ type (
 // ShadowingSweep runs the fading robustness study.
 func ShadowingSweep(cfg ShadowingConfig) (*ShadowingResult, error) {
 	return experiment.ShadowingSweep(cfg)
+}
+
+// Fault robustness study types: packet delivery ratio and tree-repair
+// behaviour as a function of the per-node failure rate.
+type (
+	// FaultConfig parameterises the fault-robustness sweep.
+	FaultConfig = experiment.FaultConfig
+	// FaultResult holds per-(protocol, fail-fraction, metric) summaries.
+	FaultResult = experiment.FaultResult
+	// FaultMetric indexes the robustness metrics of a fault sweep.
+	FaultMetric = experiment.FaultMetric
+)
+
+// Metrics of the fault-robustness sweep.
+const (
+	FaultMeanPDR  = experiment.FaultMeanPDR
+	FaultMinPDR   = experiment.FaultMinPDR
+	FaultRepairs  = experiment.FaultRepairs
+	FaultRepairMs = experiment.FaultRepairMs
+)
+
+// FaultSweep runs the PDR-vs-node-failure-rate study: per round it draws a
+// crash schedule (protecting the source), paces data packets through the
+// disaster and measures how the protocols' soft state repairs the tree.
+func FaultSweep(cfg FaultConfig) (*FaultResult, error) {
+	return experiment.FaultSweep(cfg)
 }
 
 // SnapshotRun reproduces one panel of Figures 9–10: a single session whose

@@ -101,6 +101,64 @@ func TestSnapshotFacade(t *testing.T) {
 	}
 }
 
+func TestFaultFacade(t *testing.T) {
+	topo := mtmrp.Grid()
+	rcv, err := mtmrp.PickReceivers(topo, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := mtmrp.PlanFaults(mtmrp.FaultPlan{
+		Nodes: topo.N(), Protect: []int{0}, FailFraction: 0.3,
+		Start: 1200 * mtmrp.Millisecond, Window: 400 * mtmrp.Millisecond,
+	}, 9)
+	if len(schedule) == 0 || schedule.Crashed() == 0 {
+		t.Fatalf("PlanFaults drew an empty schedule: %v", schedule)
+	}
+	loss := mtmrp.DefaultLossModel()
+	out, err := mtmrp.Run(mtmrp.Scenario{
+		Topo: topo, Source: 0, Receivers: rcv,
+		Protocol: mtmrp.ODMRP, Seed: 1,
+		Traffic: mtmrp.TrafficOptions{
+			DataPackets: 6, Interval: 50 * mtmrp.Millisecond,
+			RefreshInterval: 200 * mtmrp.Millisecond,
+		},
+		Faults: mtmrp.FaultOptions{
+			Schedule:        schedule,
+			Loss:            &loss,
+			ForwarderExpiry: 300 * mtmrp.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := out.Robustness
+	if len(rb.PDR) != len(rcv) || rb.DataSent == 0 {
+		t.Errorf("robustness incomplete: %+v", rb)
+	}
+	if rb.MinPDR > rb.MeanPDR || rb.MeanPDR > 1 {
+		t.Errorf("PDR aggregates inconsistent: mean=%v min=%v", rb.MeanPDR, rb.MinPDR)
+	}
+}
+
+func TestFaultSweepFacade(t *testing.T) {
+	res, err := mtmrp.FaultSweep(mtmrp.FaultConfig{
+		Topo:          mtmrp.GridTopo,
+		GroupSize:     5,
+		FailFractions: []float64{0, 0.3},
+		Runs:          2,
+		Seed:          1,
+		Packets:       4,
+		Protocols:     []mtmrp.Protocol{mtmrp.MTMRP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.Cell(mtmrp.MTMRP, 1, mtmrp.FaultMeanPDR)
+	if cell.N != 2 || cell.Mean <= 0 || cell.Mean > 1 {
+		t.Errorf("fault sweep cell = %+v", cell)
+	}
+}
+
 func TestSweepFacade(t *testing.T) {
 	res, err := mtmrp.GroupSizeSweep(mtmrp.SweepConfig{
 		Topo:      mtmrp.GridTopo,

@@ -1,17 +1,18 @@
 // Command benchreport runs the repository's headline performance
 // benchmarks and writes a machine-readable JSON report (default
-// BENCH_pr4.json) for CI artifacts and regression tracking:
+// BENCH_pr5.json) for CI artifacts and regression tracking:
 //
-//	go run ./cmd/benchreport            # writes BENCH_pr4.json
+//	go run ./cmd/benchreport            # writes BENCH_pr5.json
 //	go run ./cmd/benchreport -o out.json
 //
 // The report carries ns/op, bytes/op, allocs/op and (where meaningful)
-// simulator events per second for each benchmark, alongside two frozen
+// simulator events per second for each benchmark, alongside three frozen
 // baselines those numbers are compared against: the original
 // pre-optimisation measurements (the 2x serial-sweep target is defined
-// against these) and the previous release's numbers (binary-heap
-// scheduler, unbatched insertion). Each benchmark self-scales to
-// roughly one second of run time.
+// against these), the PR-3 numbers (binary-heap scheduler, unbatched
+// insertion) and the PR-4 numbers (immediately before the fault layer —
+// the zero-fault regression budget of < 3% is stated against these).
+// Each benchmark self-scales to roughly one second of run time.
 package main
 
 import (
@@ -42,7 +43,7 @@ type Measurement struct {
 	Iterations   int     `json:"iterations"`
 }
 
-// Report is the BENCH_pr4.json schema.
+// Report is the BENCH_pr5.json schema.
 type Report struct {
 	Generated   string        `json:"generated"`
 	GoVersion   string        `json:"go_version"`
@@ -51,11 +52,16 @@ type Report struct {
 	NumCPU      int           `json:"num_cpu"`
 	Baseline    []Measurement `json:"baseline_pre_optimisation"`
 	BaselinePR3 []Measurement `json:"baseline_pr3"`
+	BaselinePR4 []Measurement `json:"baseline_pr4"`
 	Current     []Measurement `json:"current"`
 	// Speedup is the headline ratio the 2x serial-sweep target is
 	// stated against: pre-optimisation sweep ns/op over current.
 	Speedup    float64 `json:"sweep_speedup_vs_pre_optimisation"`
 	SpeedupPR3 float64 `json:"sweep_speedup_vs_pr3"`
+	// SpeedupPR4 is the zero-fault regression gauge for the fault layer:
+	// values below 0.97 would mean the dormant layer costs the old
+	// benchmarks more than its < 3% budget.
+	SpeedupPR4 float64 `json:"sweep_speedup_vs_pr4"`
 }
 
 // baseline is the original pre-optimisation measurement set, recorded on
@@ -84,8 +90,23 @@ var baselinePR3 = []Measurement{
 	{Name: "LinkTableBuild/200nodes", NsPerOp: 1675942, BytesPerOp: 1288040, AllocsPerOp: 2703},
 }
 
+// baselinePR4 is the previous release's measurement set (BENCH_pr4.json:
+// ladder queue, batched insertion and event fusion in place), recorded
+// immediately before the fault-injection layer and grouped Scenario API.
+// The fault layer's zero-fault budget — dormant faults may cost these
+// benchmarks at most 3% — is checked against this set.
+var baselinePR4 = []Measurement{
+	{Name: "GroupSizeSweep/workers=1", NsPerOp: 186959571, BytesPerOp: 14365226, AllocsPerOp: 31185},
+	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 29815702, BytesPerOp: 13326734, AllocsPerOp: 16295},
+	{Name: "Discovery/MTMRP", NsPerOp: 2927081, BytesPerOp: 1074, AllocsPerOp: 1},
+	{Name: "Discovery/ODMRP", NsPerOp: 3236921, BytesPerOp: 1918, AllocsPerOp: 1},
+	{Name: "Discovery/DODMRP", NsPerOp: 3101728, BytesPerOp: 1215, AllocsPerOp: 1},
+	{Name: "TransmitDense/200nodes", NsPerOp: 8008, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "LinkTableBuild/200nodes", NsPerOp: 1678991, BytesPerOp: 1288040, AllocsPerOp: 2703},
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr4.json", "output file")
+	out := flag.String("o", "BENCH_pr5.json", "output file")
 	flag.Parse()
 
 	rep := Report{
@@ -96,6 +117,7 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		Baseline:    baseline,
 		BaselinePR3: baselinePR3,
+		BaselinePR4: baselinePR4,
 	}
 
 	run := func(name string, events *float64, fn func(b *testing.B)) Measurement {
@@ -233,9 +255,35 @@ func main() {
 		}
 	})
 
+	// The fault-robustness sweep, serial: per-round crash schedules, paced
+	// traffic with route refresh, soft-state expiry and the robustness
+	// fold. First measured in PR 5, so no baseline entry; the zero-fault
+	// budget is checked on the sweeps above instead.
+	var faultEvents float64
+	run("FaultSweep/workers=1", &faultEvents, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mtmrp.FaultSweep(mtmrp.FaultConfig{
+				Topo:          mtmrp.GridTopo,
+				GroupSize:     10,
+				FailFractions: []float64{0, 0.2},
+				Runs:          2,
+				Packets:       8,
+				Seed:          uint64(i),
+				Protocols:     []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.ODMRP},
+				Engine:        mtmrp.EngineOptions{Workers: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			faultEvents += res.Stats.RunEvents.Mean * float64(res.Stats.Completed)
+		}
+	})
+
 	if sweep.NsPerOp > 0 {
 		rep.Speedup = baseline[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR3 = baselinePR3[0].NsPerOp / sweep.NsPerOp
+		rep.SpeedupPR4 = baselinePR4[0].NsPerOp / sweep.NsPerOp
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -246,8 +294,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.2fx vs pr3, %d allocs/op)\n",
-		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR3, sweep.AllocsPerOp)
+	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.2fx vs pr3, %.3fx vs pr4, %d allocs/op)\n",
+		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR3, rep.SpeedupPR4, sweep.AllocsPerOp)
 }
 
 func fatal(err error) {

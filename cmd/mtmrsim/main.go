@@ -114,7 +114,7 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 	helloEvents := s.Events()
 	s.RunDiscovery(rounds)
 	discoveryEvents := s.Events() - helloEvents
-	if err := s.RunData(packets); err != nil {
+	if _, err := s.RunData(packets); err != nil {
 		return err
 	}
 	dataEvents := s.Events() - helloEvents - discoveryEvents

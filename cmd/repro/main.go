@@ -8,7 +8,8 @@
 //	repro -fig 8            Fig. 8  — N x delta tuning surface, random
 //	repro -fig 9            Fig. 9  — grid snapshot, 20 receivers
 //	repro -fig 10           Fig. 10 — random snapshot, 15 receivers
-//	repro -fig all          everything above
+//	repro -fig faults       extension — PDR vs node-failure rate
+//	repro -fig all          everything above (plus ablation/amortize/shadowing)
 //
 // -runs controls the Monte-Carlo rounds per point (paper: 100); lower it
 // for a quick look. All sweeps run on the deterministic worker pool
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to reproduce: 1, 5, 6, 7, 8, 9, 10, ablation, amortize, shadowing, or all")
+		fig     = flag.String("fig", "all", "figure to reproduce: 1, 5, 6, 7, 8, 9, 10, ablation, amortize, shadowing, faults, or all")
 		runs    = flag.Int("runs", 100, "Monte-Carlo rounds per data point")
 		seed    = flag.Uint64("seed", 2010, "base seed for the sweep")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
@@ -100,6 +101,8 @@ func main() {
 		err = figAmortize(*runs, *seed)
 	case "shadowing":
 		err = figShadowing(*runs, *seed)
+	case "faults":
+		err = figFaults(*runs, *seed)
 	case "all":
 		for _, f := range []func() error{
 			fig1,
@@ -112,6 +115,7 @@ func main() {
 			func() error { return figAblation(*runs, *seed) },
 			func() error { return figAmortize(*runs, *seed) },
 			func() error { return figShadowing(*runs, *seed) },
+			func() error { return figFaults(*runs, *seed) },
 		} {
 			if err = f(); err != nil {
 				break
@@ -454,6 +458,56 @@ func figShadowing(runs int, seed uint64) error {
 			fmt.Printf("  %10.2f %10.3f ", res.Overhead[p][si].Mean, res.Delivery[p][si].Mean)
 		}
 		fmt.Println()
+	}
+	printStats(res.Stats)
+	fmt.Println()
+	return err
+}
+
+// figFaults runs the fault-injection extension: PDR and tree-repair
+// behaviour versus the per-node crash probability, with paced traffic,
+// periodic route refresh and forwarder soft-state expiry active.
+func figFaults(runs int, seed uint64) error {
+	fmt.Printf("=== Extension: PDR vs node-failure rate, grid, 20 receivers (%d runs) ===\n\n", runs)
+	res, err := mtmrp.FaultSweep(mtmrp.FaultConfig{
+		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+		Engine: engine(),
+	})
+	if res == nil {
+		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
+	}
+	fmt.Printf("%10s", "fail rate")
+	for _, p := range res.Config.Protocols {
+		fmt.Printf("  %-33s", p)
+	}
+	fmt.Println()
+	fmt.Printf("%10s", "")
+	for range res.Config.Protocols {
+		fmt.Printf("  %-10s %-10s %-10s ", "mean PDR", "min PDR", "repairs")
+	}
+	fmt.Println()
+	rows := [][]string{{"fraction", "protocol", "mean_pdr", "min_pdr", "repairs", "repair_ms"}}
+	for fi, frac := range res.Config.FailFractions {
+		fmt.Printf("%10.2f", frac)
+		for _, p := range res.Config.Protocols {
+			mean := res.Cell(p, fi, mtmrp.FaultMeanPDR).Mean
+			min := res.Cell(p, fi, mtmrp.FaultMinPDR).Mean
+			rep := res.Cell(p, fi, mtmrp.FaultRepairs).Mean
+			fmt.Printf("  %10.3f %10.3f %10.2f ", mean, min, rep)
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", frac), p.String(),
+				fmt.Sprintf("%g", mean), fmt.Sprintf("%g", min),
+				fmt.Sprintf("%g", rep),
+				fmt.Sprintf("%g", res.Cell(p, fi, mtmrp.FaultRepairMs).Mean),
+			})
+		}
+		fmt.Println()
+	}
+	if err := writeCSV("faults", rows); err != nil {
+		return err
 	}
 	printStats(res.Stats)
 	fmt.Println()

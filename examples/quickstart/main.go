@@ -47,10 +47,13 @@ func main() {
 	fmt.Printf("tree constructed (%d events total)\n", s.Events())
 
 	// Phase 3: data flows down the tree — here three packets, amortising
-	// the discovery cost.
-	if err := s.RunData(3); err != nil {
+	// the discovery cost. RunData reports each packet's delivery count.
+	rep, err := s.RunData(3)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("data phase done: %d packets sent, per-packet deliveries %v\n",
+		rep.Sent, rep.Delivered)
 
 	r := s.Metrics()
 	fmt.Println("\nMTMRP on the paper's grid, 20 receivers, 3 data packets:")

@@ -57,6 +57,40 @@ type Stats struct {
 	Deliveries    uint64 // successful frame receptions
 	Collisions    uint64 // receptions lost to overlap
 	HalfDuplex    uint64 // receptions lost because the receiver was transmitting
+	LossDrops     uint64 // receptions lost to the Gilbert–Elliott chain
+	DegradeDrops  uint64 // receptions lost to a degraded endpoint
+}
+
+// LossConfig parameterises the Gilbert–Elliott bursty packet-loss model:
+// every directed link carries a two-state Markov chain (Good/Bad) that is
+// stepped once per frame crossing the link, and the frame is then dropped
+// with the state's drop probability. Geometric sojourn times make losses
+// bursty — the regime noisy-MANET route-discovery studies evaluate — while
+// staying O(1) per frame and fully deterministic under a seeded stream.
+//
+// DegradedDrop is the independent per-frame drop probability applied to
+// links whose endpoint has been degraded by a fault event
+// (Channel.SetDegraded); it models a failing radio or a jammed region
+// rather than ambient channel noise, so it stacks on top of the chain.
+type LossConfig struct {
+	PGoodBad float64 // per-frame Good -> Bad transition probability
+	PBadGood float64 // per-frame Bad -> Good transition probability
+	DropGood float64 // drop probability while Good (usually 0)
+	DropBad  float64 // drop probability while Bad (often 1)
+
+	DegradedDrop float64 // extra drop probability on degraded endpoints
+}
+
+// DefaultLossConfig returns a moderately bursty channel: mean burst length
+// 1/PBadGood ≈ 4 frames, stationary loss ≈ 14%, hard loss inside a burst.
+func DefaultLossConfig() LossConfig {
+	return LossConfig{
+		PGoodBad:     0.05,
+		PBadGood:     0.25,
+		DropGood:     0,
+		DropBad:      1,
+		DegradedDrop: 0.5,
+	}
 }
 
 // Config tunes the channel model.
@@ -75,6 +109,16 @@ type Config struct {
 	ShadowingSigmaDB float64
 	// Rand drives the shadowing draws; required when ShadowingSigmaDB > 0.
 	Rand *rng.RNG
+
+	// Loss enables the Gilbert–Elliott bursty loss model for every link
+	// (nil = the lossless disc of the paper's evaluation). It can also be
+	// swapped per run with SetLoss, which is how pooled sessions apply a
+	// scenario's fault options.
+	Loss *LossConfig
+	// LossRand drives the loss-model and degradation draws; required when
+	// either is used. It is a separate stream from Rand so enabling loss
+	// cannot perturb the shadowing draws (and vice versa).
+	LossRand *rng.RNG
 
 	// Pool, when non-nil, recycles transmitted frames: the channel holds
 	// one reference per pending arrival (plus the transmit-end event) and
@@ -99,6 +143,15 @@ type Channel struct {
 	arrFree []*arrival // recycled arrival records
 	batch   sim.Batch  // per-transmission fan, flushed by ScheduleBatch
 
+	// Loss-model state. loss is the active config (nil = off); geBad holds
+	// one bit per directed link (from*n+to), set while the link's chain is
+	// in the Bad state; degraded flags nodes hit by a link-degradation
+	// fault event. All of it is lazily allocated and rewound by Reset, so
+	// lossless simulations pay nothing.
+	loss     *LossConfig
+	geBad    []uint64
+	degraded []bool
+
 	// OnAir, if set, observes every transmission (for metrics/tracing).
 	OnAir func(from int, p *packet.Packet)
 	// OnDeliver, if set, observes every successful reception.
@@ -118,13 +171,99 @@ func NewWithTable(s *sim.Simulator, links *LinkTable, cfg Config) *Channel {
 	if cfg.ShadowingSigmaDB > 0 && cfg.Rand == nil {
 		panic("channel: shadowing requires a random source")
 	}
-	return &Channel{
+	c := &Channel{
 		sim:    s,
 		links:  links,
 		cfg:    cfg,
 		radios: make([]Radio, links.n),
 		state:  make([]nodeState, links.n),
 	}
+	c.SetLoss(cfg.Loss)
+	return c
+}
+
+// SetLoss installs (or, with nil, removes) the Gilbert–Elliott loss model.
+// Unlike the construction-time knobs, the loss model is a per-run setting:
+// session reuse swaps it on Reset without rebuilding the channel. Every
+// link chain starts in the Good state.
+func (c *Channel) SetLoss(cfg *LossConfig) {
+	if cfg != nil && c.cfg.LossRand == nil {
+		panic("channel: loss model requires a random source")
+	}
+	c.loss = cfg
+	if cfg != nil && c.geBad == nil {
+		c.geBad = make([]uint64, (c.links.n*c.links.n+63)/64)
+	}
+	for i := range c.geBad {
+		c.geBad[i] = 0
+	}
+}
+
+// SetDegraded marks (or clears) node i as link-degraded: every frame on a
+// link touching i is independently dropped with the configured
+// DegradedDrop probability. Fault schedules drive this through ordinary
+// simulator events; Reset clears all marks.
+func (c *Channel) SetDegraded(i int, on bool) {
+	if on && c.cfg.LossRand == nil {
+		panic("channel: degradation requires a random source")
+	}
+	if c.degraded == nil {
+		if !on {
+			return
+		}
+		c.degraded = make([]bool, c.links.n)
+	}
+	c.degraded[i] = on
+}
+
+// Degraded reports whether node i is currently link-degraded.
+func (c *Channel) Degraded(i int) bool {
+	return c.degraded != nil && c.degraded[i]
+}
+
+// linkUp decides the fate of an otherwise-decodable frame from node i to
+// node j under the loss model and any endpoint degradation. It must be
+// called exactly once per such frame: it advances the link's chain.
+func (c *Channel) linkUp(i, j int) bool {
+	drop := false
+	if l := c.loss; l != nil {
+		idx := i*c.links.n + j
+		bad := c.geBad[idx>>6]&(1<<(idx&63)) != 0
+		// Step the chain, then apply the (new) state's drop probability:
+		// a Good->Bad transition corrupts the frame that triggered it,
+		// which is what makes back-to-back losses bursty.
+		if bad {
+			if c.cfg.LossRand.Bool(l.PBadGood) {
+				bad = false
+				c.geBad[idx>>6] &^= 1 << (idx & 63)
+			}
+		} else if c.cfg.LossRand.Bool(l.PGoodBad) {
+			bad = true
+			c.geBad[idx>>6] |= 1 << (idx & 63)
+		}
+		p := l.DropGood
+		if bad {
+			p = l.DropBad
+		}
+		if c.cfg.LossRand.Bool(p) {
+			c.stats.LossDrops++
+			drop = true
+		}
+	}
+	if c.degraded != nil && (c.degraded[i] || c.degraded[j]) {
+		p := DefaultLossConfig().DegradedDrop
+		if c.loss != nil {
+			p = c.loss.DegradedDrop
+		}
+		// Always draw, even when the chain already dropped the frame:
+		// the draw sequence must depend only on the transmission fan, not
+		// on earlier outcomes, so runs differing in one loss stay aligned.
+		if c.cfg.LossRand.Bool(p) && !drop {
+			c.stats.DegradeDrops++
+			drop = true
+		}
+	}
+	return !drop
 }
 
 // decodable reports whether a frame over the given link decodes, applying
@@ -174,6 +313,12 @@ func (c *Channel) Reset(links *LinkTable) {
 	}
 	c.uid = 0
 	c.stats = Stats{}
+	for i := range c.geBad {
+		c.geBad[i] = 0
+	}
+	for i := range c.degraded {
+		c.degraded[i] = false
+	}
 }
 
 // Busy reports whether node i currently senses the medium busy.
@@ -316,6 +461,7 @@ func (c *Channel) transmitInto(i int, p *packet.Packet) sim.Time {
 	// rolls its own fading draw, in CS-list order (the same draw order as
 	// the separate arrival loop this replaces).
 	shadow := c.cfg.ShadowingSigmaDB > 0
+	lossy := c.loss != nil || c.degraded != nil
 	rxl := c.links.rx[i]
 	ri := 0
 	refs := int32(1) // the tx-end event
@@ -324,7 +470,11 @@ func (c *Channel) transmitInto(i int, p *packet.Packet) sim.Time {
 		if inRX {
 			ri++
 		}
-		if (inRX || shadow) && c.decodable(l) {
+		// The loss model sits after decodability: a frame the PHY could
+		// decode is corrupted link by link (chain step + degradation
+		// draws, in CS-list order), and a dropped frame still occupies the
+		// medium — the receiver senses carrier without getting a packet.
+		if (inRX || shadow) && c.decodable(l) && (!lossy || c.linkUp(i, l.to)) {
 			a := c.newArrival(p)
 			refs++
 			c.batch.AfterCall(l.delay, sigArrStartCB, a, l.to)

@@ -40,7 +40,7 @@ func TestSessionReuseSteadyStateAllocs(t *testing.T) {
 				}
 				s.RunHello()
 				s.RunDiscovery(0)
-				if err := s.RunData(0); err != nil {
+				if _, err := s.RunData(0); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -48,7 +48,7 @@ func TestSessionReuseSteadyStateAllocs(t *testing.T) {
 			// mark; subsequent identical passes must reuse all of it.
 			s.RunHello()
 			s.RunDiscovery(0)
-			if err := s.RunData(0); err != nil {
+			if _, err := s.RunData(0); err != nil {
 				t.Fatal(err)
 			}
 			for _, seed := range seeds {

@@ -1,0 +1,240 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/experiment/sweep"
+	"mtmrp/internal/fault"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/stats"
+)
+
+// Fault robustness study (extension). The paper's evaluation keeps every
+// node alive for the whole session; this driver re-runs the evaluation
+// point under increasing node-failure rates to measure how well each
+// protocol's soft state (forwarder expiry + periodic JoinQuery refresh)
+// repairs the multicast structure mid-traffic. The x-axis is the per-node
+// crash probability; the y-axes are delivery (mean/min PDR over the
+// group) and repair behaviour (closed gaps, time to close them).
+
+// FaultMetric indexes the robustness metric vector of a fault sweep.
+type FaultMetric int
+
+// Fault-sweep metric identifiers.
+const (
+	FaultMeanPDR FaultMetric = iota // mean per-receiver packet delivery ratio
+	FaultMinPDR                     // worst receiver's delivery ratio
+	FaultRepairs                    // closed delivery gaps per run
+	FaultRepairMs                   // mean time-to-repair, milliseconds
+	NumFaultMetrics
+)
+
+// String implements fmt.Stringer.
+func (m FaultMetric) String() string {
+	switch m {
+	case FaultMeanPDR:
+		return "mean packet delivery ratio"
+	case FaultMinPDR:
+		return "minimum packet delivery ratio"
+	case FaultRepairs:
+		return "repairs"
+	case FaultRepairMs:
+		return "mean time to repair (ms)"
+	default:
+		return fmt.Sprintf("FaultMetric(%d)", int(m))
+	}
+}
+
+// FaultConfig parameterises the fault-robustness sweep.
+type FaultConfig struct {
+	Topo          TopoKind
+	GroupSize     int
+	FailFractions []float64 // per-node crash probabilities; 0 reproduces the fault-free run
+	Runs          int
+	Seed          uint64
+	Protocols     []Protocol
+
+	// Packets and Interval shape the paced data phase the faults land in
+	// (defaults: 20 packets, 50 ms apart — a 1 s traffic window).
+	Packets  int
+	Interval sim.Time
+	// RefreshInterval re-floods the JoinQuery during traffic; ForwarderExpiry
+	// ages forwarder flags out between refreshes. Together they are the
+	// repair mechanism the sweep measures (defaults 200 ms / 300 ms).
+	RefreshInterval sim.Time
+	ForwarderExpiry sim.Time
+	// FaultStart/FaultWindow bound crash onsets. The defaults (1.2 s + 800 ms)
+	// put them inside the paced data phase, which begins once the HELLO
+	// rounds (3 x 500 ms) and discovery floods drain at about 1.15 s.
+	FaultStart  sim.Time
+	FaultWindow sim.Time
+	// Downtime, when nonzero, revives each crashed node after that long;
+	// zero (the default) makes crashes permanent, so every repair is a
+	// reroute rather than the dead node coming back.
+	Downtime sim.Time
+	// Loss optionally layers ambient Gilbert–Elliott loss under the
+	// crashes; nil (the default) keeps the study crash-only.
+	Loss *channel.LossConfig
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers.
+	Workers int
+}
+
+// FaultResult holds per-(protocol, fail-fraction) summaries, metric-major
+// like the other sweep results.
+type FaultResult struct {
+	Config  FaultConfig
+	Metrics map[Protocol][][NumFaultMetrics]stats.Summary // [protocol][fractionIdx][metric]
+	Stats   sweep.Stats
+}
+
+// Cell returns the summary for one (protocol, fail fraction, metric) point.
+func (r *FaultResult) Cell(p Protocol, fi int, m FaultMetric) stats.Summary {
+	return r.Metrics[p][fi][m]
+}
+
+// FaultSweep runs the fault-robustness study on the shared sweep engine.
+// Each round draws its topology, receiver group and crash schedule from
+// the round's RNG substreams (the schedule via fault.Plan, protecting the
+// source), so the whole sweep is a pure function of (config, seed):
+// bit-identical across worker counts and across pooled versus fresh
+// sessions.
+func FaultSweep(cfg FaultConfig) (*FaultResult, error) {
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = AllProtocols
+	}
+	if len(cfg.FailFractions) == 0 {
+		cfg.FailFractions = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 20
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 20
+	}
+	if cfg.Packets == 0 {
+		cfg.Packets = 20
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 50 * sim.Millisecond
+	}
+	if cfg.RefreshInterval == 0 {
+		cfg.RefreshInterval = 200 * sim.Millisecond
+	}
+	if cfg.ForwarderExpiry == 0 {
+		cfg.ForwarderExpiry = 300 * sim.Millisecond
+	}
+	if cfg.FaultStart == 0 {
+		cfg.FaultStart = 1200 * sim.Millisecond
+	}
+	if cfg.FaultWindow == 0 {
+		cfg.FaultWindow = 800 * sim.Millisecond
+	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
+	}
+
+	protos := cfg.Protocols
+	fracs := cfg.FailFractions
+	// Run-major job order (see GroupSizeSweep): a cancelled sweep keeps
+	// partial data at every fraction. Labels depend only on (fraction
+	// index, run), never on worker identity.
+	total := len(fracs) * cfg.Runs
+	label := func(i int) string {
+		return fmt.Sprintf("fault-%s-%d-%d", cfg.Topo, i%len(fracs), i/len(fracs))
+	}
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,
+		func(_ context.Context, job *sweep.Job) ([][NumFaultMetrics]float64, error) {
+			frac := fracs[job.Index%len(fracs)]
+			round := job.RNG
+			topo, links, err := buildRound(cfg.Topo, round)
+			if err != nil {
+				return nil, err
+			}
+			rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+			if err != nil {
+				return nil, err
+			}
+			// One schedule per round, shared by every protocol: Derive is a
+			// pure function of (round, name), so re-deriving "faults" inside
+			// the protocol loop replays the identical crash pattern, and the
+			// protocols compete on the same disaster.
+			values := make([][NumFaultMetrics]float64, len(protos))
+			for pi, p := range protos {
+				schedule := fault.Plan(fault.PlanConfig{
+					Nodes:        topo.N(),
+					Protect:      []int{0},
+					FailFraction: frac,
+					Start:        cfg.FaultStart,
+					Window:       cfg.FaultWindow,
+					Downtime:     cfg.Downtime,
+				}, round.Derive("faults"))
+				out, err := poolRun(job, Scenario{
+					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+					Seed:  round.Derive("run").Uint64(),
+					Links: links,
+					Traffic: TrafficOptions{
+						DataPackets:     cfg.Packets,
+						Interval:        cfg.Interval,
+						RefreshInterval: cfg.RefreshInterval,
+					},
+					Faults: FaultOptions{
+						Schedule:        schedule,
+						Loss:            cfg.Loss,
+						ForwarderExpiry: cfg.ForwarderExpiry,
+					},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%v: %w", p, err)
+				}
+				job.AddEvents(out.Net.Sim.Processed())
+				rb := out.Robustness
+				values[pi] = [NumFaultMetrics]float64{
+					rb.MeanPDR,
+					rb.MinPDR,
+					float64(rb.Repairs),
+					float64(rb.MeanTimeToRepair) / float64(sim.Millisecond),
+				}
+			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
+
+	acc := make([][][NumFaultMetrics]stats.Accumulator, len(fracs))
+	for fi := range fracs {
+		acc[fi] = make([][NumFaultMetrics]stats.Accumulator, len(protos))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		fi := i % len(fracs)
+		for pi := range protos {
+			for m := 0; m < int(NumFaultMetrics); m++ {
+				acc[fi][pi][m].Add(o.Value[pi][m])
+			}
+		}
+	}
+
+	res := &FaultResult{
+		Config:  cfg,
+		Metrics: make(map[Protocol][][NumFaultMetrics]stats.Summary),
+		Stats:   st,
+	}
+	for pi, p := range protos {
+		rows := make([][NumFaultMetrics]stats.Summary, len(fracs))
+		for fi := range fracs {
+			for m := 0; m < int(NumFaultMetrics); m++ {
+				rows[fi][m] = acc[fi][pi][m].Summary()
+			}
+		}
+		res.Metrics[p] = rows
+	}
+	return res, err
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"mtmrp/internal/channel"
+	"mtmrp/internal/fault"
+	"mtmrp/internal/network"
+	"mtmrp/internal/sim"
+)
+
+// RadioOptions groups the channel-realism knobs of a Scenario: which MAC
+// runs under the protocols and how faithful the PHY is. The zero value is
+// the paper's setting (CSMA, collisions on, no fading).
+type RadioOptions struct {
+	// MAC selects the MAC layer (default: CSMA with collisions, the
+	// paper's setting; MACIdeal is the deterministic test MAC).
+	MAC network.MACKind
+	// DisableCollisions delivers overlapping frames anyway.
+	DisableCollisions bool
+	// ShadowingSigmaDB enables log-normal fading (0 = the paper's
+	// setting: "the shadowing fading factor is not considered").
+	ShadowingSigmaDB float64
+}
+
+// TrafficOptions groups the workload-shape knobs of a Scenario: what the
+// source sends and how discovery interleaves with it. The zero value is
+// one 64-byte packet after two discovery rounds, all phases back to back.
+type TrafficOptions struct {
+	// PayloadLen is the DATA payload size in bytes (default 64).
+	PayloadLen int
+	// DataPackets is how many data packets the source pushes down the
+	// constructed tree (default 1). More packets amortise the discovery
+	// cost — the trade-off §V.B.3 discusses.
+	DataPackets int
+	// DiscoveryRounds is how many times the source floods a JoinQuery
+	// before the data phase (default 2); see Scenario.DiscoveryRounds.
+	DiscoveryRounds int
+	// Interval paces the data phase: successive packets are sent this far
+	// apart in virtual time, so fault events and soft-state timers can
+	// fire between them. 0 (the default) keeps the legacy send-then-drain
+	// loop, which is what every golden experiment pins.
+	Interval sim.Time
+	// RefreshInterval re-floods a JoinQuery from the source periodically
+	// during a paced data phase — ODMRP's route refresh running inside
+	// the traffic, so a tree broken by faults is rebuilt while packets
+	// keep flowing. 0 disables refresh; requires Interval > 0 to matter.
+	RefreshInterval sim.Time
+}
+
+// FaultOptions groups the robustness knobs of a Scenario: what goes wrong
+// during the run and how aggressively the protocols age their state. The
+// zero value injects nothing — the pristine field of the paper.
+type FaultOptions struct {
+	// Schedule lists the node crash/recover and link degrade/restore
+	// events armed on the simulator at session start (nil = none).
+	Schedule fault.Schedule
+	// Loss enables the Gilbert–Elliott bursty per-link loss model
+	// (nil = the lossless disc).
+	Loss *channel.LossConfig
+	// ForwarderExpiry soft-states the forwarding-group flags
+	// (proto.Config.FGLifetime); 0 keeps them for the whole run.
+	ForwarderExpiry sim.Time
+}
+
+// normalize merges the deprecated flat Scenario fields into the grouped
+// options, applies the documented defaults, and mirrors the canonical
+// values back onto the flat aliases so readers of either spelling agree.
+// Both NewSession and Reset call it first, which is what makes the two
+// spellings bit-identical: after normalize there is only one scenario.
+func (sc *Scenario) normalize() {
+	// Deprecated flat spellings fill whatever the groups leave zero
+	// (booleans OR: either spelling can switch realism off).
+	if sc.Radio.MAC == 0 {
+		sc.Radio.MAC = sc.MAC
+	}
+	sc.Radio.DisableCollisions = sc.Radio.DisableCollisions || sc.DisableCollisions
+	if sc.Radio.ShadowingSigmaDB == 0 {
+		sc.Radio.ShadowingSigmaDB = sc.ShadowingSigmaDB
+	}
+	if sc.Traffic.PayloadLen == 0 {
+		sc.Traffic.PayloadLen = sc.PayloadLen
+	}
+	if sc.Traffic.DataPackets == 0 {
+		sc.Traffic.DataPackets = sc.DataPackets
+	}
+	if sc.Traffic.DiscoveryRounds == 0 {
+		sc.Traffic.DiscoveryRounds = sc.DiscoveryRounds
+	}
+
+	if sc.N == 0 {
+		sc.N = 4
+	}
+	if sc.Delta == 0 {
+		sc.Delta = sim.Millisecond
+	}
+	if sc.Traffic.PayloadLen == 0 {
+		sc.Traffic.PayloadLen = 64
+	}
+	if sc.Traffic.DataPackets == 0 {
+		sc.Traffic.DataPackets = 1
+	}
+	if sc.Traffic.DiscoveryRounds == 0 {
+		sc.Traffic.DiscoveryRounds = 2
+	}
+
+	sc.MAC = sc.Radio.MAC
+	sc.DisableCollisions = sc.Radio.DisableCollisions
+	sc.ShadowingSigmaDB = sc.Radio.ShadowingSigmaDB
+	sc.PayloadLen = sc.Traffic.PayloadLen
+	sc.DataPackets = sc.Traffic.DataPackets
+	sc.DiscoveryRounds = sc.Traffic.DiscoveryRounds
+}
+
+// validate reports the scenario errors shared by NewSession and Reset.
+func (sc *Scenario) validate() error {
+	if len(sc.Receivers) == 0 {
+		return ErrNoReceivers
+	}
+	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
+		return ErrBadSource
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/fault"
+	"mtmrp/internal/network"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+// optionScenarios returns the same non-default scenario spelled two ways:
+// through the deprecated flat fields and through the grouped options.
+func optionScenarios(t *testing.T) (flat, grouped Scenario) {
+	t.Helper()
+	topo := topology.PaperGrid()
+	recv, err := topo.PickReceivers(0, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{
+		Topo: topo, Source: 0, Receivers: recv,
+		Protocol: ODMRP, Seed: 11,
+	}
+	flat = base
+	flat.MAC = network.MACIdeal
+	flat.DisableCollisions = true
+	flat.ShadowingSigmaDB = 4
+	flat.PayloadLen = 128
+	flat.DataPackets = 3
+	flat.DiscoveryRounds = 1
+
+	grouped = base
+	grouped.Radio = RadioOptions{MAC: network.MACIdeal, DisableCollisions: true, ShadowingSigmaDB: 4}
+	grouped.Traffic = TrafficOptions{PayloadLen: 128, DataPackets: 3, DiscoveryRounds: 1}
+	return flat, grouped
+}
+
+// TestFlatAndGroupedSpellingsIdentical is the alias vet: the deprecated
+// flat Scenario fields and the grouped option structs must produce
+// bit-identical outcomes, through both the one-shot Run and a pooled
+// session.
+func TestFlatAndGroupedSpellingsIdentical(t *testing.T) {
+	flat, grouped := optionScenarios(t)
+
+	a, err := Run(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Result, b.Result) {
+		t.Errorf("flat vs grouped Run diverged:\n%+v\n%+v", a.Result, b.Result)
+	}
+	if !reflect.DeepEqual(a.Robustness, b.Robustness) {
+		t.Errorf("flat vs grouped Robustness diverged:\n%+v\n%+v", a.Robustness, b.Robustness)
+	}
+
+	// A pooled session keyed by one spelling must be reusable by the other
+	// (the pool keys off the normalized shape) and reproduce the result.
+	pool := NewSessionPool()
+	c, err := pool.Run(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Result, c.Result) {
+		t.Fatalf("pooled flat run diverged from fresh")
+	}
+	d, err := pool.Run(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Result, d.Result) {
+		t.Errorf("pooled grouped run diverged from fresh flat run")
+	}
+	if len(pool.sessions) != 1 {
+		t.Errorf("pool built %d sessions for one normalized shape, want 1", len(pool.sessions))
+	}
+}
+
+// TestNormalizeMirrorsCanonicalValues pins the merge direction: after
+// normalization both spellings read the same values, with the groups
+// winning when both are set.
+func TestNormalizeMirrorsCanonicalValues(t *testing.T) {
+	sc := Scenario{
+		MAC:              network.MACIdeal, // flat fills an unset group field
+		ShadowingSigmaDB: 2,
+		Radio:            RadioOptions{ShadowingSigmaDB: 6}, // group wins over flat
+		DataPackets:      5,
+	}
+	sc.normalize()
+	if sc.Radio.MAC != network.MACIdeal || sc.MAC != network.MACIdeal {
+		t.Errorf("MAC merge: group=%v flat=%v", sc.Radio.MAC, sc.MAC)
+	}
+	if sc.Radio.ShadowingSigmaDB != 6 || sc.ShadowingSigmaDB != 6 {
+		t.Errorf("sigma merge: group=%v flat=%v", sc.Radio.ShadowingSigmaDB, sc.ShadowingSigmaDB)
+	}
+	if sc.Traffic.DataPackets != 5 || sc.DataPackets != 5 {
+		t.Errorf("packets merge: group=%v flat=%v", sc.Traffic.DataPackets, sc.DataPackets)
+	}
+	// Defaults land in both spellings.
+	if sc.Traffic.PayloadLen != 64 || sc.PayloadLen != 64 {
+		t.Errorf("payload default: group=%v flat=%v", sc.Traffic.PayloadLen, sc.PayloadLen)
+	}
+	if sc.Traffic.DiscoveryRounds != 2 || sc.DiscoveryRounds != 2 {
+		t.Errorf("rounds default: group=%v flat=%v", sc.Traffic.DiscoveryRounds, sc.DiscoveryRounds)
+	}
+	if sc.N != 4 || sc.Delta != sim.Millisecond {
+		t.Errorf("backoff defaults: N=%d Delta=%v", sc.N, sc.Delta)
+	}
+}
+
+// TestPacedDataWithRefresh exercises the paced data phase: packets spaced
+// in virtual time, periodic JoinQuery refreshes inside the traffic, and a
+// per-packet delivery report.
+func TestPacedDataWithRefresh(t *testing.T) {
+	topo := topology.PaperGrid()
+	recv, err := topo.PickReceivers(0, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(Scenario{
+		Topo: topo, Source: 0, Receivers: recv, Protocol: ODMRP, Seed: 9,
+		Radio: RadioOptions{MAC: network.MACIdeal, DisableCollisions: true},
+		Traffic: TrafficOptions{
+			DataPackets:     5,
+			Interval:        50 * sim.Millisecond,
+			RefreshInterval: 120 * sim.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	key0 := s.RunDiscovery(0)
+	rep, err := s.RunData(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 5 || len(rep.Delivered) != 5 {
+		t.Fatalf("report = %+v, want 5 packets", rep)
+	}
+	for i, got := range rep.Delivered {
+		if got != len(recv) {
+			t.Errorf("packet %d reached %d/%d receivers", i, got, len(recv))
+		}
+	}
+	if s.Key() == key0 {
+		t.Error("refresh interval elapsed but the session key never advanced")
+	}
+	if rb := s.Robustness(); rb.MeanPDR != 1 || rb.Repairs != 0 {
+		t.Errorf("pristine paced run Robustness = %+v", rb)
+	}
+}
+
+// TestFaultOptionsApplyAndReset drives a session with a crash schedule and
+// bursty loss through a Reset cycle, checking the options are applied on
+// construction, shed by a fault-free Reset, and re-applied by a faulty one.
+func TestFaultOptionsApplyAndReset(t *testing.T) {
+	topo := topology.PaperGrid()
+	recv, err := topo.PickReceivers(0, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := channel.DefaultLossConfig()
+	faulty := Scenario{
+		Topo: topo, Source: 0, Receivers: recv, Protocol: ODMRP, Seed: 5,
+		Faults: FaultOptions{
+			Schedule: fault.Schedule{{At: sim.Millisecond, Node: 1, Kind: fault.NodeCrash}},
+			Loss:     &loss,
+		},
+	}
+	s, err := NewSession(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	if !s.Network().Nodes[1].Down() {
+		t.Error("armed crash event did not fire during the HELLO phase")
+	}
+
+	clean := faulty
+	clean.Faults = FaultOptions{}
+	if err := s.Reset(clean); err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	if s.Network().Nodes[1].Down() {
+		t.Error("fault-free Reset left node 1 crashed")
+	}
+	if st := s.Network().Chan.Stats(); st.LossDrops != 0 {
+		t.Errorf("fault-free Reset kept the loss model: %d drops", st.LossDrops)
+	}
+
+	if err := s.Reset(faulty); err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	if !s.Network().Nodes[1].Down() {
+		t.Error("faulty Reset did not re-arm the crash schedule")
+	}
+	if st := s.Network().Chan.Stats(); st.LossDrops == 0 {
+		t.Errorf("faulty Reset did not re-apply the loss model")
+	}
+}

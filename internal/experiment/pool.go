@@ -52,11 +52,14 @@ func (p *SessionPool) Run(sc Scenario) (*Outcome, error) {
 	if sc.TraceWriter != nil || sc.Proto != nil || sc.Core != nil || sc.Topo == nil {
 		return Run(sc)
 	}
+	// Key off the normalized shape so the grouped and flat option
+	// spellings of the same scenario share a pooled session.
+	sc.normalize()
 	key := poolKey{
 		Protocol:          sc.Protocol,
-		MAC:               sc.MAC,
-		DisableCollisions: sc.DisableCollisions,
-		SigmaDB:           sc.ShadowingSigmaDB,
+		MAC:               sc.Radio.MAC,
+		DisableCollisions: sc.Radio.DisableCollisions,
+		SigmaDB:           sc.Radio.ShadowingSigmaDB,
 		Nodes:             sc.Topo.N(),
 		Range:             sc.Topo.Range,
 	}
@@ -72,8 +75,8 @@ func (p *SessionPool) Run(sc Scenario) (*Outcome, error) {
 		return nil, err
 	}
 	s.RunHello()
-	s.RunDiscovery(sc.DiscoveryRounds)
-	if err := s.RunData(sc.DataPackets); err != nil {
+	s.RunDiscovery(sc.Traffic.DiscoveryRounds)
+	if _, err := s.RunData(sc.Traffic.DataPackets); err != nil {
 		return nil, err
 	}
 	return s.Outcome()

@@ -63,7 +63,12 @@ func (p Protocol) String() string {
 // AllProtocols lists the four protocols of Figures 5–8 in legend order.
 var AllProtocols = []Protocol{MTMRP, MTMRPNoPHS, DODMRP, ODMRP}
 
-// Scenario describes one simulated session.
+// Scenario describes one simulated session. Options come in three groups —
+// Radio (channel realism), Traffic (workload shape) and Faults (injected
+// dynamics) — plus the identity fields below. The flat option fields that
+// predate the groups remain as deprecated aliases: both spellings are
+// merged during NewSession/Reset validation and behave identically, but
+// new code should use the groups.
 type Scenario struct {
 	Topo      *topology.Topology
 	Source    int
@@ -78,21 +83,33 @@ type Scenario struct {
 	// Seed drives every stochastic component of the run.
 	Seed uint64
 
-	// MAC and DisableCollisions select the channel realism (defaults:
-	// CSMA with collisions — the paper's setting).
+	// Radio selects the MAC and PHY realism.
+	Radio RadioOptions
+	// Traffic shapes the data phase and its interleaved discovery.
+	Traffic TrafficOptions
+	// Faults injects node/link dynamics and soft-states the protocols.
+	Faults FaultOptions
+
+	// MAC and DisableCollisions select the channel realism.
+	//
+	// Deprecated: set Radio.MAC / Radio.DisableCollisions instead.
 	MAC               network.MACKind
 	DisableCollisions bool
 
-	// ShadowingSigmaDB enables log-normal fading (0 = the paper's
-	// setting: "the shadowing fading factor is not considered").
+	// ShadowingSigmaDB enables log-normal fading.
+	//
+	// Deprecated: set Radio.ShadowingSigmaDB instead.
 	ShadowingSigmaDB float64
 
 	// PayloadLen is the DATA payload size in bytes (default 64).
+	//
+	// Deprecated: set Traffic.PayloadLen instead.
 	PayloadLen int
 
 	// DataPackets is how many data packets the source pushes down the
-	// constructed tree (default 1). More packets amortise the discovery
-	// cost — the trade-off §V.B.3 discusses.
+	// constructed tree (default 1).
+	//
+	// Deprecated: set Traffic.DataPackets instead.
 	DataPackets int
 
 	// DiscoveryRounds is how many times the source floods a JoinQuery
@@ -102,6 +119,8 @@ type Scenario struct {
 	// JoinReply phase can orphan a partially-built tree — later replies
 	// stop at nodes already flagged as forwarders whose own path to the
 	// source never completed. Data flows down the tree of the last round.
+	//
+	// Deprecated: set Traffic.DiscoveryRounds instead.
 	DiscoveryRounds int
 
 	// Proto overrides the shared protocol timing; nil takes defaults.
@@ -133,11 +152,15 @@ var (
 // Outcome bundles the metrics of one run with the session bookkeeping the
 // figure drivers need.
 type Outcome struct {
-	Result   metrics.Result
-	Key      packet.FloodKey
-	Net      *network.Network
-	Routers  []proto.Router
-	Scenario Scenario
+	Result metrics.Result
+	// Robustness carries the fault-injection metrics (all-ones PDR for a
+	// pristine run); kept separate from Result so the golden-pinned Result
+	// schema stays frozen.
+	Robustness metrics.Robustness
+	Key        packet.FloodKey
+	Net        *network.Network
+	Routers    []proto.Router
+	Scenario   Scenario
 }
 
 // Run executes one complete session — HELLO, discovery with refresh
@@ -150,8 +173,8 @@ func Run(sc Scenario) (*Outcome, error) {
 		return nil, err
 	}
 	s.RunHello()
-	s.RunDiscovery(sc.DiscoveryRounds)
-	if err := s.RunData(sc.DataPackets); err != nil {
+	s.RunDiscovery(sc.Traffic.DiscoveryRounds)
+	if _, err := s.RunData(sc.Traffic.DataPackets); err != nil {
 		return nil, err
 	}
 	return s.Outcome()

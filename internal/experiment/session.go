@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mtmrp/internal/energy"
+	"mtmrp/internal/fault"
 	"mtmrp/internal/metrics"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
@@ -49,30 +50,21 @@ type Session struct {
 	dests []packet.NodeID // SetDestinations scratch, reused across Reset
 }
 
-// NewSession validates the scenario, applies its defaults, and builds the
-// network with a router on every node. No virtual time elapses yet.
+// NewSession validates the scenario, applies its defaults (merging the
+// deprecated flat option fields into the Radio/Traffic/Faults groups), and
+// builds the network with a router on every node. No virtual time elapses
+// yet, but the scenario's fault schedule is already armed on the simulator.
 func NewSession(sc Scenario) (*Session, error) {
-	if len(sc.Receivers) == 0 {
-		return nil, ErrNoReceivers
+	if err := sc.validate(); err != nil {
+		return nil, err
 	}
-	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
-		return nil, ErrBadSource
-	}
-	if sc.N == 0 {
-		sc.N = 4
-	}
-	if sc.Delta == 0 {
-		sc.Delta = sim.Millisecond
-	}
-	if sc.PayloadLen == 0 {
-		sc.PayloadLen = 64
-	}
+	sc.normalize()
 
 	cfg := network.DefaultConfig(sc.Seed)
 	cfg.Radio = radioFor(sc.Topo)
-	cfg.MAC = sc.MAC
-	cfg.DisableCollisions = sc.DisableCollisions
-	cfg.ShadowingSigmaDB = sc.ShadowingSigmaDB
+	cfg.MAC = sc.Radio.MAC
+	cfg.DisableCollisions = sc.Radio.DisableCollisions
+	cfg.ShadowingSigmaDB = sc.Radio.ShadowingSigmaDB
 	cfg.Links = sc.Links
 	net := network.New(sc.Topo, cfg)
 
@@ -101,12 +93,29 @@ func NewSession(sc Scenario) (*Session, error) {
 	}
 	// Geographic multicast assumes the source knows its receivers.
 	s.setDestinations(sc)
+	s.applyFaults(sc)
 	s.meter.Attach(net)
 	if sc.TraceWriter != nil {
 		s.logger = trace.NewLogger(sc.TraceWriter)
 		s.logger.Attach(net)
 	}
 	return s, nil
+}
+
+// applyFaults installs the scenario's fault options: the per-link loss
+// model, the soft-state forwarder lifetime, and the armed fault schedule.
+// NewSession and Reset both call it at the same point relative to the
+// other construction steps, so a pooled session replays a faulty run
+// bit-identically to a fresh one. Every setting is applied unconditionally
+// — a reused session must also shed the previous run's options.
+func (s *Session) applyFaults(sc Scenario) {
+	s.net.SetLoss(sc.Faults.Loss)
+	for _, r := range s.routers {
+		if fg, ok := r.(interface{ SetFGLifetime(sim.Time) }); ok {
+			fg.SetFGLifetime(sc.Faults.ForwarderExpiry)
+		}
+	}
+	fault.Arm(s.net, sc.Faults.Schedule)
 }
 
 // setDestinations installs the receiver list at the source for protocols
@@ -144,21 +153,10 @@ func (s *Session) setDestinations(sc Scenario) {
 // as construction derives it, a reset session is bit-identical to a fresh
 // one: same packets on the air, same metrics, same RNG draw order.
 func (s *Session) Reset(sc Scenario) error {
-	if len(sc.Receivers) == 0 {
-		return ErrNoReceivers
+	if err := sc.validate(); err != nil {
+		return err
 	}
-	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
-		return ErrBadSource
-	}
-	if sc.N == 0 {
-		sc.N = 4
-	}
-	if sc.Delta == 0 {
-		sc.Delta = sim.Millisecond
-	}
-	if sc.PayloadLen == 0 {
-		sc.PayloadLen = 64
-	}
+	sc.normalize()
 	links := sc.Links
 	if links == nil {
 		links = LinkTableFor(sc.Topo)
@@ -174,6 +172,7 @@ func (s *Session) Reset(sc Scenario) error {
 		s.net.Nodes[r].JoinGroup(s.group)
 	}
 	s.setDestinations(sc)
+	s.applyFaults(sc)
 	s.col.Reset(packet.NodeID(sc.Source), s.group, sc.Receivers)
 	s.meter.Rebind(sc.Topo)
 	s.sc = sc
@@ -202,7 +201,7 @@ func (s *Session) RunHello() {
 func (s *Session) RunDiscovery(rounds int) packet.FloodKey {
 	s.RunHello()
 	if rounds <= 0 {
-		rounds = s.sc.DiscoveryRounds
+		rounds = s.sc.Traffic.DiscoveryRounds
 	}
 	if rounds <= 0 {
 		rounds = 2
@@ -215,24 +214,74 @@ func (s *Session) RunDiscovery(rounds int) packet.FloodKey {
 	return s.key
 }
 
+// DataReport is RunData's per-call outcome: how many data packets the
+// source actually put on the air (a crashed source sends nothing) and, for
+// each of them in send order, how many multicast receivers a first copy
+// reached. Delivered aliases session-owned storage — read it before the
+// next Reset and do not modify it.
+type DataReport struct {
+	Sent      int
+	Delivered []int
+}
+
 // RunData pushes n data packets (n <= 0 takes the scenario default:
-// DataPackets, or 1) down the most recently discovered tree. It may be
-// called repeatedly; packet counts accumulate in the metrics.
-func (s *Session) RunData(n int) error {
+// Traffic.DataPackets, or 1) down the most recently discovered tree and
+// reports the per-packet delivery counts, so callers no longer need to
+// diff Metrics snapshots around the call. It may be called repeatedly;
+// packet counts accumulate in the metrics but each report covers only its
+// own call.
+//
+// With Traffic.Interval 0 each packet is sent and the event queue drained
+// before the next — the legacy back-to-back workload. A positive Interval
+// paces the sends in virtual time instead, so armed fault events and
+// soft-state expiry interleave with the traffic; Traffic.RefreshInterval
+// then re-floods a JoinQuery periodically inside the data phase (ODMRP's
+// route refresh) and subsequent packets flow down the refreshed tree.
+func (s *Session) RunData(n int) (DataReport, error) {
 	if !s.discovered {
-		return ErrNoDiscovery
+		return DataReport{}, ErrNoDiscovery
 	}
 	if n <= 0 {
-		n = s.sc.DataPackets
+		n = s.sc.Traffic.DataPackets
 	}
 	if n <= 0 {
 		n = 1
 	}
-	for i := 0; i < n; i++ {
-		s.routers[s.sc.Source].SendData(s.key, s.sc.PayloadLen)
-		s.net.Run()
+	start := s.col.DataPacketCount()
+	if iv := s.sc.Traffic.Interval; iv <= 0 {
+		for i := 0; i < n; i++ {
+			s.routers[s.sc.Source].SendData(s.key, s.sc.Traffic.PayloadLen)
+			s.net.Run()
+		}
+	} else {
+		s.runPacedData(n, iv)
 	}
-	return nil
+	counts := s.col.PacketCounts()
+	return DataReport{Sent: s.col.DataPacketCount() - start, Delivered: counts[start:]}, nil
+}
+
+// runPacedData schedules n sends iv apart, plus the periodic JoinQuery
+// refreshes that fall inside the span, then drains the queue once. The
+// send uses the session's current key, so a refresh that completes between
+// two sends redirects the following packets down the new tree.
+func (s *Session) runPacedData(n int, iv sim.Time) {
+	base := s.net.Sim.Now()
+	for i := 0; i < n; i++ {
+		s.net.Sim.At(base+sim.Time(i)*iv, func() {
+			s.routers[s.sc.Source].SendData(s.key, s.sc.Traffic.PayloadLen)
+		})
+	}
+	if rf := s.sc.Traffic.RefreshInterval; rf > 0 {
+		for at := base + rf; at < base+sim.Time(n)*iv; at += rf {
+			s.net.Sim.At(at, func() {
+				if s.net.Nodes[s.sc.Source].Down() {
+					return // a crashed source cannot refresh
+				}
+				s.key = s.routers[s.sc.Source].FloodQuery(s.group)
+			})
+		}
+	}
+	s.net.Run()
 }
 
 // Key returns the flood key of the last discovery round.
@@ -272,16 +321,23 @@ func (s *Session) Metrics() metrics.Result {
 	return res
 }
 
+// Robustness snapshots the fault-injection metrics for everything run so
+// far: per-receiver packet delivery ratios, closed delivery gaps (tree
+// repairs) and the mean time to repair. Meaningful for any run; without
+// faults it reports an all-ones PDR.
+func (s *Session) Robustness() metrics.Robustness { return s.col.Robustness() }
+
 // Outcome bundles the session state in the form Run returns.
 func (s *Session) Outcome() (*Outcome, error) {
 	if err := s.Err(); err != nil {
 		return nil, err
 	}
 	return &Outcome{
-		Result:   s.Metrics(),
-		Key:      s.key,
-		Net:      s.net,
-		Routers:  s.routers,
-		Scenario: s.sc,
+		Result:     s.Metrics(),
+		Robustness: s.Robustness(),
+		Key:        s.key,
+		Net:        s.net,
+		Routers:    s.routers,
+		Scenario:   s.sc,
 	}, nil
 }

@@ -23,7 +23,7 @@ func TestSessionMatchesRun(t *testing.T) {
 		}
 		s.RunHello()
 		key := s.RunDiscovery(0)
-		if err := s.RunData(0); err != nil {
+		if _, err := s.RunData(0); err != nil {
 			t.Fatal(err)
 		}
 		got, err := s.Outcome()
@@ -60,7 +60,7 @@ func TestSessionDataBeforeDiscovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RunData(1); err != ErrNoDiscovery {
+	if _, err := s.RunData(1); err != ErrNoDiscovery {
 		t.Errorf("want ErrNoDiscovery, got %v", err)
 	}
 }
@@ -74,7 +74,7 @@ func TestSessionInterleavedPhases(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.RunDiscovery(1) // RunHello is implicit
-	if err := s.RunData(3); err != nil {
+	if _, err := s.RunData(3); err != nil {
 		t.Fatal(err)
 	}
 	mid := s.Metrics()
@@ -87,7 +87,7 @@ func TestSessionInterleavedPhases(t *testing.T) {
 	}
 
 	key2 := s.RunDiscovery(1) // refresh
-	if err := s.RunData(3); err != nil {
+	if _, err := s.RunData(3); err != nil {
 		t.Fatal(err)
 	}
 	end := s.Metrics()

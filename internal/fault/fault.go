@@ -1,0 +1,176 @@
+// Package fault is the deterministic fault-injection and network-dynamics
+// layer. A fault Schedule is an ordered list of node crash/recover and
+// link-degrade/restore events; Arm translates it into ordinary simulator
+// events, so faults interleave with protocol traffic in virtual time and
+// replay bit-identically under the same seed — across worker counts and
+// across fresh versus pooled sessions alike.
+//
+// Schedules come from two places: hand-written literals (unit tests,
+// targeted what-if studies) and Plan, which draws a schedule from a
+// dedicated RNG substream so Monte-Carlo sweeps can vary the fault pattern
+// per run while staying reproducible. The layer composes with every
+// protocol because it acts below them — on nodes and links — and the
+// protocols' soft state (forwarder-group expiry, periodic JoinQuery
+// refresh) is what repairs the tree afterwards.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"mtmrp/internal/network"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+// Kind is the fault event type.
+type Kind uint8
+
+// Fault event kinds. Crash/Recover toggle a node's liveness (a downed node
+// neither sends, receives nor times out); Degrade/Restore toggle lossy
+// operation on every link touching the node (see channel.LossConfig's
+// DegradedDrop).
+const (
+	NodeCrash Kind = iota
+	NodeRecover
+	LinkDegrade
+	LinkRestore
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NodeRecover:
+		return "recover"
+	case LinkDegrade:
+		return "degrade"
+	case LinkRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one scheduled fault: at virtual time At, node Node experiences
+// Kind.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+}
+
+// Schedule is a fault plan: the events applied to one run, in time order.
+// A nil or empty schedule is valid and injects nothing.
+type Schedule []Event
+
+// Sort orders the schedule by time, breaking ties by node then kind so
+// equal schedules arm identically regardless of construction order.
+func (s Schedule) Sort() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		if s[i].Node != s[j].Node {
+			return s[i].Node < s[j].Node
+		}
+		return s[i].Kind < s[j].Kind
+	})
+}
+
+// Crashed returns the number of distinct nodes the schedule crashes.
+func (s Schedule) Crashed() int {
+	n := 0
+	seen := make(map[int]bool, len(s))
+	for _, e := range s {
+		if e.Kind == NodeCrash && !seen[e.Node] {
+			seen[e.Node] = true
+			n++
+		}
+	}
+	return n
+}
+
+// PlanConfig parameterises the random schedule generator.
+type PlanConfig struct {
+	// Nodes is the topology size events are drawn over.
+	Nodes int
+	// Protect lists nodes that never fault (typically the source; studies
+	// that want receiver-side faults simply leave receivers unprotected).
+	Protect []int
+	// FailFraction is the per-node probability of a fault, drawn
+	// independently for each unprotected node in index order.
+	FailFraction float64
+	// Start and Window bound the fault onset: each faulting node draws a
+	// uniform time in [Start, Start+Window).
+	Start, Window sim.Time
+	// Downtime, when nonzero, schedules the matching recover/restore event
+	// Downtime after each fault; zero means the fault is permanent.
+	Downtime sim.Time
+	// Degrade selects link degradation instead of node crashes.
+	Degrade bool
+}
+
+// Plan draws a schedule from r. The draw order is fixed — one Bool and
+// (for faulting nodes) one time draw per unprotected node, in node-index
+// order — so a schedule is a pure function of (config, stream), which is
+// what keeps fault sweeps bit-identical across worker counts.
+func Plan(cfg PlanConfig, r *rng.RNG) Schedule {
+	var s Schedule
+	fault, heal := NodeCrash, NodeRecover
+	if cfg.Degrade {
+		fault, heal = LinkDegrade, LinkRestore
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if protected(cfg.Protect, i) {
+			continue
+		}
+		if !r.Bool(cfg.FailFraction) {
+			continue
+		}
+		at := cfg.Start
+		if cfg.Window > 0 {
+			at += sim.Time(r.Range(0, float64(cfg.Window)))
+		}
+		s = append(s, Event{At: at, Node: i, Kind: fault})
+		if cfg.Downtime > 0 {
+			s = append(s, Event{At: at + cfg.Downtime, Node: i, Kind: heal})
+		}
+	}
+	s.Sort()
+	return s
+}
+
+func protected(protect []int, i int) bool {
+	for _, p := range protect {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Arm schedules every event of s on the network's simulator, encoding
+// (node, kind) in the event's integer argument so arming allocates no
+// closures. Call with the simulator at time zero (fresh or just reset);
+// events in the past of the current clock would fire immediately.
+func Arm(net *network.Network, s Schedule) {
+	for _, e := range s {
+		net.Sim.AtCall(e.At, applyCB, net, e.Node<<2|int(e.Kind))
+	}
+}
+
+// applyCB is the simulator callback for one armed fault event.
+func applyCB(arg any, i int) {
+	net := arg.(*network.Network)
+	node, kind := i>>2, Kind(i&3)
+	switch kind {
+	case NodeCrash:
+		net.Nodes[node].Fail()
+	case NodeRecover:
+		net.Nodes[node].Recover()
+	case LinkDegrade:
+		net.Degrade(node, true)
+	case LinkRestore:
+		net.Degrade(node, false)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"mtmrp/internal/bitset"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
 )
 
 // Collector subscribes to a network and accumulates per-session counters.
@@ -44,6 +45,18 @@ type Collector struct {
 	profit      []int  // Snapshot scratch: first-copy attribution per node
 	prevOnAir   func(*network.Node, *packet.Packet)
 	prevOnRecv  func(*network.Node, *packet.Packet)
+
+	// Per-packet robustness tracking (the fault-injection experiments).
+	// Every source DATA transmission registers its DataKey here; receivers'
+	// first copies are marked per (packet, node) so the collector can
+	// compute per-receiver delivery ratios and repair statistics. All
+	// session-lifetime storage, rewound in place by Reset.
+	recvs  []int           // the receiver list, in Reset order
+	pkts   []packet.DataKey // source packets, in send order
+	sendAt []sim.Time       // virtual send time per packet
+	perPkt []int            // receivers reached per packet (first copies)
+	rxPkt  bitset.Set       // bit pktIdx*n + node: first copy seen
+	rxAt   []sim.Time       // pktIdx*n + node -> first-copy arrival time
 }
 
 // NewCollector wires a collector into the network's observation hooks,
@@ -88,6 +101,12 @@ func (c *Collector) Reset(source packet.NodeID, group packet.GroupID, receivers 
 	c.bytesTx = 0
 	c.bytesRx = 0
 	c.controlTx = 0
+	c.recvs = append(c.recvs[:0], receivers...)
+	c.pkts = c.pkts[:0]
+	c.sendAt = c.sendAt[:0]
+	c.perPkt = c.perPkt[:0]
+	c.rxPkt.Reset()
+	c.rxAt = c.rxAt[:0]
 }
 
 func (c *Collector) onTransmit(from *network.Node, p *packet.Packet) {
@@ -103,9 +122,42 @@ func (c *Collector) onTransmit(from *network.Node, p *packet.Packet) {
 			c.dataTxSet.Set(int(from.ID))
 			c.dataTx = append(c.dataTx, from.ID)
 		}
+		if from.ID == c.source {
+			c.registerPacket(p)
+		}
 	default:
 		c.controlTx++
 	}
+}
+
+// registerPacket records a source DATA transmission for per-packet
+// delivery tracking. Retransmissions of an already-registered key (route
+// repair resending a packet) do not register twice.
+func (c *Collector) registerPacket(p *packet.Packet) {
+	key := dataKey(p)
+	// The packet being sent is almost always the newest; scan backwards.
+	for i := len(c.pkts) - 1; i >= 0; i-- {
+		if c.pkts[i] == key {
+			return
+		}
+	}
+	c.pkts = append(c.pkts, key)
+	c.sendAt = append(c.sendAt, c.net.Sim.Now())
+	c.perPkt = append(c.perPkt, 0)
+	// rxAt grows one node-stride per packet; stale values are never read
+	// because rxPkt gates every access.
+	n := len(c.net.Nodes)
+	for len(c.rxAt) < len(c.pkts)*n {
+		c.rxAt = append(c.rxAt, 0)
+	}
+}
+
+// dataKey extracts the per-packet identity from a DATA/GeoDATA frame.
+func dataKey(p *packet.Packet) packet.DataKey {
+	if p.Type == packet.TGeoData {
+		return p.Geo.PacketKey()
+	}
+	return p.Data.PacketKey()
 }
 
 func (c *Collector) onDeliver(to *network.Node, p *packet.Packet) {
@@ -135,6 +187,32 @@ func (c *Collector) onDeliver(to *network.Node, p *packet.Packet) {
 	if !c.rxData.Test(int(to.ID)) {
 		c.rxData.Set(int(to.ID))
 		c.firstFrom[to.ID] = p.From
+	}
+	c.markPacket(to.ID, p)
+}
+
+// markPacket records node `to`'s first copy of an individual data packet.
+func (c *Collector) markPacket(to packet.NodeID, p *packet.Packet) {
+	key := dataKey(p)
+	idx := -1
+	// In-flight packets cluster at the tail; scan backwards.
+	for i := len(c.pkts) - 1; i >= 0; i-- {
+		if c.pkts[i] == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // not a source-registered packet (e.g. injected by a test)
+	}
+	bit := idx*len(c.net.Nodes) + int(to)
+	if c.rxPkt.Test(bit) {
+		return
+	}
+	c.rxPkt.Set(bit)
+	c.rxAt[bit] = c.net.Sim.Now()
+	if to != c.source && c.receivers.Test(int(to)) {
+		c.perPkt[idx]++
 	}
 }
 
@@ -238,6 +316,88 @@ func (c *Collector) Snapshot() Result {
 		res.DeliveryRatio = 1
 	}
 	return res
+}
+
+// DataPacketCount returns the number of distinct data packets the source
+// has put on the air so far.
+func (c *Collector) DataPacketCount() int { return len(c.pkts) }
+
+// PacketCounts returns, for each source packet in send order, how many
+// multicast receivers a first copy has reached so far. The slice is
+// collector-owned storage: callers must not modify it or retain it across
+// Reset.
+func (c *Collector) PacketCounts() []int { return c.perPkt }
+
+// Robustness is the fault-injection outcome of one session: how reliably
+// the tree delivered under dynamics, and how quickly it healed. It is a
+// separate snapshot from Result so the golden-pinned Result schema stays
+// frozen.
+type Robustness struct {
+	// DataSent counts the distinct data packets the source transmitted.
+	DataSent int
+	// PDR is each receiver's packet delivery ratio — first copies received
+	// over DataSent — indexed like the receiver list the collector was
+	// reset with.
+	PDR []float64
+	// MeanPDR and MinPDR aggregate PDR over the receivers (1 when there are
+	// no receivers or no data, the vacuous success of DeliveryRatio).
+	MeanPDR, MinPDR float64
+	// Repairs counts closed delivery gaps: a receiver missing >= 1 packet
+	// and then receiving a later one means the protocol's soft state
+	// rebuilt a path to it. A gap still open at the end of the run is an
+	// outage, not a repair.
+	Repairs int
+	// MeanTimeToRepair averages, over closed gaps, the virtual time from
+	// the send of the first missed packet to the arrival that closed the
+	// gap (0 when nothing needed repair).
+	MeanTimeToRepair sim.Time
+}
+
+// Robustness computes the per-receiver delivery and repair statistics for
+// everything run so far. Unlike Snapshot it allocates its PDR slice; call
+// it once per run, outside reuse-sensitive loops.
+func (c *Collector) Robustness() Robustness {
+	n := len(c.net.Nodes)
+	m := len(c.pkts)
+	rb := Robustness{DataSent: m, PDR: make([]float64, len(c.recvs)), MeanPDR: 1, MinPDR: 1}
+	if m == 0 {
+		for i := range rb.PDR {
+			rb.PDR[i] = 1
+		}
+		return rb
+	}
+	var ttrSum sim.Time
+	sum := 0.0
+	for ri, r := range c.recvs {
+		got := 0
+		gapStart := -1
+		for i := 0; i < m; i++ {
+			bit := i*n + r
+			if c.rxPkt.Test(bit) {
+				got++
+				if gapStart >= 0 {
+					rb.Repairs++
+					ttrSum += c.rxAt[bit] - c.sendAt[gapStart]
+					gapStart = -1
+				}
+			} else if gapStart < 0 {
+				gapStart = i
+			}
+		}
+		pdr := float64(got) / float64(m)
+		rb.PDR[ri] = pdr
+		sum += pdr
+		if pdr < rb.MinPDR {
+			rb.MinPDR = pdr
+		}
+	}
+	if len(c.recvs) > 0 {
+		rb.MeanPDR = sum / float64(len(c.recvs))
+	}
+	if rb.Repairs > 0 {
+		rb.MeanTimeToRepair = ttrSum / sim.Time(rb.Repairs)
+	}
+	return rb
 }
 
 // TransmitterPositions returns the topology indices of the DATA

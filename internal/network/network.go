@@ -86,6 +86,7 @@ type Network struct {
 
 	root     rng.RNG         // seed material all substreams derive from
 	chanRand *rng.RNG        // the channel's shadowing stream (reseeded on Reset)
+	lossRand *rng.RNG        // the channel's loss-model stream (reseeded on Reset)
 	pkt      *packet.Factory // pooled frames shared by the whole simulation
 
 	// OnTransmit observes every frame put on the air (after MAC).
@@ -108,11 +109,16 @@ func New(topo *topology.Topology, cfg Config) *Network {
 	}
 	net.root.Seed(cfg.Seed)
 	net.chanRand = net.root.Derive("channel")
+	// The loss stream is always derived — Derive is a pure function of the
+	// seed material and does not advance the parent, so carrying the stream
+	// even when no loss model is configured cannot perturb any other stream.
+	net.lossRand = net.root.Derive("loss")
 	net.Rand = net.root.Derive("network")
 	chCfg := channel.Config{
 		DisableCollisions: cfg.DisableCollisions,
 		ShadowingSigmaDB:  cfg.ShadowingSigmaDB,
 		Rand:              net.chanRand,
+		LossRand:          net.lossRand,
 		Pool:              net.pkt,
 	}
 	links := cfg.Links
@@ -218,6 +224,7 @@ func (net *Network) Reset(topo *topology.Topology, links *channel.LinkTable, see
 	net.Sim.Reset()
 	net.root.Seed(seed)
 	net.root.DeriveInto("channel", net.chanRand)
+	net.root.DeriveInto("loss", net.lossRand)
 	net.root.DeriveInto("network", net.Rand)
 	net.Topo = topo
 	net.Chan.Reset(links)
@@ -228,6 +235,16 @@ func (net *Network) Reset(topo *topology.Topology, links *channel.LinkTable, see
 		n.mac.Reset(n.Rand)
 	}
 }
+
+// SetLoss installs (or, with nil, removes) a Gilbert–Elliott bursty-loss
+// model on the channel. Per-run: Reset clears the chain state, so callers
+// re-apply the model after every Reset.
+func (net *Network) SetLoss(cfg *channel.LossConfig) { net.Chan.SetLoss(cfg) }
+
+// Degrade marks node i's links as degraded (both directions); frames
+// touching a degraded endpoint drop with the loss model's DegradedDrop
+// probability. Restore with Degrade(i, false).
+func (net *Network) Degrade(i int, on bool) { net.Chan.SetDegraded(i, on) }
 
 // Packets returns the simulation's shared frame factory; protocols build
 // their outgoing frames through it so the channel can recycle them.

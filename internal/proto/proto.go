@@ -42,6 +42,14 @@ type Config struct {
 	// become the upstream — and the JoinReply back over it would be lost.
 	// <= 0 disables the gate.
 	MinHelloCount int
+
+	// FGLifetime soft-states the forwarding-group flag, ODMRP's
+	// FORWARDING_GROUP_TIMEOUT: a flag not refreshed by a JoinReply within
+	// the lifetime silently expires, so forwarders orphaned by node
+	// failures stop relaying instead of serving a stale tree forever. 0
+	// (the default) keeps flags for the whole run — the paper's static
+	// evaluation, and what every golden experiment pins.
+	FGLifetime sim.Time
 }
 
 // DefaultConfig returns the timings used by the experiments.
@@ -94,8 +102,9 @@ type sessState struct {
 	key         packet.FloodKey
 	route       Route
 	hasRoute    bool
-	fg          bool // forwarding-group flag
-	coveredSelf bool // this receiver is covered
+	fg          bool     // forwarding-group flag
+	fgAt        sim.Time // when fg was last set/refreshed (soft state)
+	coveredSelf bool     // this receiver is covered
 	gotData     int  // data packets received
 	dataSeq     uint32
 
@@ -123,6 +132,7 @@ func (s *sessState) clear(key packet.FloodKey, n int) {
 	s.route = Route{}
 	s.hasRoute = false
 	s.fg = false
+	s.fgAt = 0
 	s.coveredSelf = false
 	s.gotData = 0
 	s.dataSeq = 0
@@ -371,15 +381,36 @@ func (b *Base) SendData(key packet.FloodKey, payloadLen int) {
 	b.node.Send(b.node.Packets().NewData(b.node.ID, d))
 }
 
-// IsForwarder reports whether this node holds the session's FG flag.
+// IsForwarder reports whether this node holds a live FG flag for the
+// session (an expired soft-state flag no longer counts).
 func (b *Base) IsForwarder(key packet.FloodKey) bool {
 	s := b.sess(key)
-	return s != nil && s.fg
+	return s != nil && b.fgActive(s)
 }
 
 // SetForwarder force-sets the FG flag (used by route-repair extensions and
 // tests).
-func (b *Base) SetForwarder(key packet.FloodKey) { b.ensureSess(key).fg = true }
+func (b *Base) SetForwarder(key packet.FloodKey) { b.markForwarder(b.ensureSess(key)) }
+
+// SetFGLifetime retunes the soft-state forwarder lifetime (0 = flags never
+// expire). The session harness applies scenario traffic options through
+// this after construction and after every Reset.
+func (b *Base) SetFGLifetime(d sim.Time) { b.cfg.FGLifetime = d }
+
+// markForwarder sets the FG flag and stamps the soft-state clock.
+func (b *Base) markForwarder(s *sessState) {
+	s.fg = true
+	s.fgAt = b.node.Now()
+}
+
+// fgActive reports whether the session's FG flag is set and, under a
+// soft-state lifetime, still fresh.
+func (b *Base) fgActive(s *sessState) bool {
+	if !s.fg {
+		return false
+	}
+	return b.cfg.FGLifetime <= 0 || b.node.Now()-s.fgAt <= b.cfg.FGLifetime
+}
 
 // Covered reports whether this receiver marked itself covered.
 func (b *Base) Covered(key packet.FloodKey) bool {
@@ -594,21 +625,25 @@ func (b *Base) onJoinReply(p *packet.Packet) {
 	// Path handover (Algorithm 2, lines 4-6): a known forwarder neighbor
 	// already provides a route toward the source.
 	if b.hooks.GraftOnReply != nil && b.hooks.GraftOnReply(b, key) {
-		s.fg = true
+		b.markForwarder(s)
 		return
 	}
-	if s.fg {
-		return // already on the tree; the route exists
+	if b.fgActive(s) {
+		// Already on the tree; the route exists. The reply still refreshes
+		// the soft-state clock, as ODMRP's periodic joins intend.
+		s.fgAt = b.node.Now()
+		return
 	}
 	if b.node.InGroup(key.Group) && s.coveredSelf {
 		// Covered receiver addressed as next hop: join the tree without
 		// relaying (its own JoinReply already built the upstream path).
-		s.fg = true
+		b.markForwarder(s)
 		return
 	}
 
-	// Become a forwarder and propagate toward the source.
-	s.fg = true
+	// Become a forwarder (or revive an expired flag) and propagate toward
+	// the source.
+	b.markForwarder(s)
 	if !s.hasRoute || s.route.Upstream == packet.NoNode {
 		return // no reverse path (stale reply); flag stays set
 	}
@@ -647,8 +682,8 @@ func (b *Base) onData(p *packet.Packet) {
 	}
 	s.seenData.Set(int(d.DataSeq))
 	s.gotData++
-	if !s.fg {
-		return
+	if !b.fgActive(s) {
+		return // not on the tree, or the soft-state flag has expired
 	}
 	pd := b.newPending()
 	pd.d = d

@@ -1,0 +1,84 @@
+package proto
+
+import (
+	"testing"
+
+	"mtmrp/internal/sim"
+)
+
+// TestFGLifetimeExpiry drives a 4-node line tree under a short forwarder
+// lifetime: data sent while the flags are fresh is relayed, data sent after
+// the lifetime passes is not — the stale tree goes quiet instead of
+// forwarding forever.
+func TestFGLifetimeExpiry(t *testing.T) {
+	cfg := deterministicConfig()
+	cfg.FGLifetime = 10 * sim.Millisecond
+	net, bases := rig(t, 4, Hooks{QueryDelay: fixedDelay(sim.Millisecond)}, cfg)
+	net.Nodes[3].JoinGroup(1)
+	key := session(net, bases)
+
+	// Fresh flags: the packet crosses the tree.
+	bases[0].SendData(key, 64)
+	net.Run()
+	if bases[3].DataReceived(key) != 1 {
+		t.Fatalf("fresh tree delivered %d packets, want 1", bases[3].DataReceived(key))
+	}
+	if !bases[1].IsForwarder(key) {
+		t.Fatal("node 1 should be a live forwarder right after discovery")
+	}
+
+	// Past the lifetime: flags expire, forwarders stop relaying.
+	net.Sim.At(net.Sim.Now()+2*cfg.FGLifetime, func() { bases[0].SendData(key, 64) })
+	net.Run()
+	if bases[1].IsForwarder(key) {
+		t.Error("node 1's flag should have expired")
+	}
+	if got := bases[3].DataReceived(key); got != 1 {
+		t.Errorf("expired tree delivered %d packets, want 1", got)
+	}
+	// The one-hop neighbor of the source still hears the source's own
+	// transmission — expiry stops relaying, not receiving.
+	if got := bases[1].DataReceived(key); got != 2 {
+		t.Errorf("node 1 received %d packets, want 2", got)
+	}
+}
+
+// TestFGLifetimeZeroNeverExpires pins the default: with FGLifetime 0 the
+// flag survives arbitrarily long gaps, the paper's static evaluation.
+func TestFGLifetimeZeroNeverExpires(t *testing.T) {
+	net, bases := rig(t, 4, Hooks{QueryDelay: fixedDelay(sim.Millisecond)}, deterministicConfig())
+	net.Nodes[3].JoinGroup(1)
+	key := session(net, bases)
+
+	net.Sim.At(net.Sim.Now()+10*sim.Second, func() { bases[0].SendData(key, 64) })
+	net.Run()
+	if bases[3].DataReceived(key) != 1 {
+		t.Error("static tree should deliver after an arbitrary idle gap")
+	}
+}
+
+// TestSetFGLifetimeRetunes verifies the harness hook: a lifetime applied
+// after construction takes effect, and re-applying 0 restores static flags.
+func TestSetFGLifetimeRetunes(t *testing.T) {
+	net, bases := rig(t, 4, Hooks{QueryDelay: fixedDelay(sim.Millisecond)}, deterministicConfig())
+	for _, b := range bases {
+		b.SetFGLifetime(5 * sim.Millisecond)
+	}
+	net.Nodes[3].JoinGroup(1)
+	key := session(net, bases)
+
+	net.Sim.At(net.Sim.Now()+sim.Second, func() { bases[0].SendData(key, 64) })
+	net.Run()
+	if bases[3].DataReceived(key) != 0 {
+		t.Error("5 ms lifetime should have expired after a 1 s gap")
+	}
+
+	for _, b := range bases {
+		b.SetFGLifetime(0)
+	}
+	bases[0].SendData(key, 64)
+	net.Run()
+	if bases[3].DataReceived(key) != 1 {
+		t.Error("restoring lifetime 0 should revive the (still-set) flags")
+	}
+}
