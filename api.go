@@ -6,11 +6,12 @@ import (
 	"mtmrp/internal/centralized"
 	"mtmrp/internal/channel"
 	"mtmrp/internal/experiment"
-	"mtmrp/internal/fault"
 	"mtmrp/internal/experiment/sweep"
+	"mtmrp/internal/fault"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/graph"
 	"mtmrp/internal/metrics"
+	"mtmrp/internal/mobility"
 	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
 	"mtmrp/internal/stats"
@@ -78,6 +79,10 @@ type (
 	// FaultOptions groups the fault-injection knobs: a crash/degrade
 	// schedule, a channel loss model and the forwarder soft-state expiry.
 	FaultOptions = experiment.FaultOptions
+	// MobilityOptions groups the node-motion knobs: model, speed bounds,
+	// pause, tick step and an optional recorded trace. The zero value is
+	// the paper's static field.
+	MobilityOptions = experiment.MobilityOptions
 	// DataReport is Session.RunData's per-call outcome: packets actually
 	// sent and, per packet, how many receivers a first copy reached.
 	DataReport = experiment.DataReport
@@ -124,6 +129,61 @@ func PlanFaults(cfg FaultPlan, seed uint64) FaultSchedule {
 // mean burst length of four frames, lossless good state, total loss in
 // the bad state, and a 50% drop rate on degraded links.
 func DefaultLossModel() LossModel { return channel.DefaultLossConfig() }
+
+// Mobility layer: deterministic node motion executed as ordinary simulator
+// events over an incrementally-updated link table (see Scenario.Mobility
+// and the MobilitySweep driver).
+type (
+	// MobilityModel selects the motion model (random waypoint or RPGM).
+	MobilityModel = mobility.Model
+	// MotionPlan is a drawn (or loaded) piecewise-linear motion of every
+	// node — inert, replayable data; set MobilityOptions.Trace to replay
+	// one, or use cmd/topogen -motion to record one.
+	MotionPlan = mobility.Plan
+	// MotionConfig parameterises DrawMotion's random plan generator.
+	MotionConfig = mobility.Config
+)
+
+// Motion models for MobilityOptions.Model.
+const (
+	MobilityNone           = mobility.None
+	MobilityRandomWaypoint = mobility.RandomWaypoint
+	MobilityRPGM           = mobility.RPGM
+)
+
+// DrawMotion draws a motion plan for a topology from a dedicated seed,
+// using the same "mobility" substream a Scenario with that seed would:
+// the plan is a pure function of (cfg, topology, seed).
+func DrawMotion(cfg MotionConfig, t *Topology, seed uint64) MotionPlan {
+	if cfg.Field == 0 {
+		cfg.Field = t.Side
+	}
+	return mobility.Draw(cfg, t.Positions, rng.New(seed).Derive("mobility"))
+}
+
+// LoadMotion reads a motion trace saved by SaveMotion (or
+// cmd/topogen -motion) for MobilityOptions.Trace.
+func LoadMotion(path string) (*MotionPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mobility.Load(f)
+}
+
+// SaveMotion writes a motion plan to a file for pinned mobile scenarios.
+func SaveMotion(pl *MotionPlan, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pl.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // Run executes one complete multicast session: HELLO phase, JoinQuery
 // flood, JoinReply tree construction, one data packet down the tree.
@@ -348,6 +408,35 @@ const (
 // disaster and measures how the protocols' soft state repairs the tree.
 func FaultSweep(cfg FaultConfig) (*FaultResult, error) {
 	return experiment.FaultSweep(cfg)
+}
+
+// Mobility study types: delivery and control overhead as a function of
+// node speed and pause time.
+type (
+	// MobilityConfig parameterises the mobility sweep.
+	MobilityConfig = experiment.MobilityConfig
+	// MobilityResult holds per-(protocol, point, metric) summaries.
+	MobilityResult = experiment.MobilityResult
+	// MobilityMetric indexes the metrics of a mobility sweep.
+	MobilityMetric = experiment.MobilityMetric
+	// MobilityPoint is one x-axis point: (max speed, pause).
+	MobilityPoint = experiment.MobilityPoint
+)
+
+// Metrics of the mobility sweep.
+const (
+	MobilityMeanPDR   = experiment.MobilityMeanPDR
+	MobilityMinPDR    = experiment.MobilityMinPDR
+	MobilityControlTx = experiment.MobilityControlTx
+	MobilityRepairs   = experiment.MobilityRepairs
+)
+
+// MobilitySweep runs the PDR-and-overhead-vs-speed study: per round it
+// draws a topology and receiver group, then runs every protocol over the
+// identical per-seed motion plan while data packets pace through the
+// drifting field.
+func MobilitySweep(cfg MobilityConfig) (*MobilityResult, error) {
+	return experiment.MobilitySweep(cfg)
 }
 
 // SnapshotRun reproduces one panel of Figures 9–10: a single session whose

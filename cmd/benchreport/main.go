@@ -1,17 +1,18 @@
 // Command benchreport runs the repository's headline performance
 // benchmarks and writes a machine-readable JSON report (default
-// BENCH_pr5.json) for CI artifacts and regression tracking:
+// BENCH_pr6.json) for CI artifacts and regression tracking:
 //
-//	go run ./cmd/benchreport            # writes BENCH_pr5.json
+//	go run ./cmd/benchreport            # writes BENCH_pr6.json
 //	go run ./cmd/benchreport -o out.json
 //
 // The report carries ns/op, bytes/op, allocs/op and (where meaningful)
-// simulator events per second for each benchmark, alongside three frozen
+// simulator events per second for each benchmark, alongside four frozen
 // baselines those numbers are compared against: the original
 // pre-optimisation measurements (the 2x serial-sweep target is defined
 // against these), the PR-3 numbers (binary-heap scheduler, unbatched
-// insertion) and the PR-4 numbers (immediately before the fault layer —
-// the zero-fault regression budget of < 3% is stated against these).
+// insertion), the PR-4 numbers (immediately before the fault layer) and
+// the PR-5 numbers (immediately before the mobility subsystem — the
+// zero-motion regression budget of < 3% is stated against these).
 // Each benchmark self-scales to roughly one second of run time.
 package main
 
@@ -43,7 +44,7 @@ type Measurement struct {
 	Iterations   int     `json:"iterations"`
 }
 
-// Report is the BENCH_pr5.json schema.
+// Report is the BENCH_pr6.json schema.
 type Report struct {
 	Generated   string        `json:"generated"`
 	GoVersion   string        `json:"go_version"`
@@ -53,6 +54,7 @@ type Report struct {
 	Baseline    []Measurement `json:"baseline_pre_optimisation"`
 	BaselinePR3 []Measurement `json:"baseline_pr3"`
 	BaselinePR4 []Measurement `json:"baseline_pr4"`
+	BaselinePR5 []Measurement `json:"baseline_pr5"`
 	Current     []Measurement `json:"current"`
 	// Speedup is the headline ratio the 2x serial-sweep target is
 	// stated against: pre-optimisation sweep ns/op over current.
@@ -62,6 +64,11 @@ type Report struct {
 	// values below 0.97 would mean the dormant layer costs the old
 	// benchmarks more than its < 3% budget.
 	SpeedupPR4 float64 `json:"sweep_speedup_vs_pr4"`
+	// SpeedupPR5 is the zero-motion regression gauge for the mobility
+	// subsystem: the static sweeps must stay within 3% of PR 5 (values
+	// below 0.97 blow the budget), since inactive mobility takes the
+	// unchanged shared-link-table path.
+	SpeedupPR5 float64 `json:"sweep_speedup_vs_pr5"`
 }
 
 // baseline is the original pre-optimisation measurement set, recorded on
@@ -105,8 +112,24 @@ var baselinePR4 = []Measurement{
 	{Name: "LinkTableBuild/200nodes", NsPerOp: 1678991, BytesPerOp: 1288040, AllocsPerOp: 2703},
 }
 
+// baselinePR5 is the previous release's measurement set (BENCH_pr5.json:
+// fault layer and grouped Scenario options in place), recorded immediately
+// before the mobility subsystem and the grid-indexed incremental link
+// table. The mobility layer's zero-motion budget — static scenarios may
+// cost these benchmarks at most 3% — is checked against this set.
+var baselinePR5 = []Measurement{
+	{Name: "GroupSizeSweep/workers=1", NsPerOp: 177930102, BytesPerOp: 14424582, AllocsPerOp: 31297},
+	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 29982536, BytesPerOp: 13339342, AllocsPerOp: 16309},
+	{Name: "Discovery/MTMRP", NsPerOp: 3125620, BytesPerOp: 1031, AllocsPerOp: 1},
+	{Name: "Discovery/ODMRP", NsPerOp: 3326970, BytesPerOp: 1960, AllocsPerOp: 1},
+	{Name: "Discovery/DODMRP", NsPerOp: 3055567, BytesPerOp: 1224, AllocsPerOp: 1},
+	{Name: "TransmitDense/200nodes", NsPerOp: 8611, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "LinkTableBuild/200nodes", NsPerOp: 1708431, BytesPerOp: 1288040, AllocsPerOp: 2703},
+	{Name: "FaultSweep/workers=1", NsPerOp: 47593777, BytesPerOp: 7192986, AllocsPerOp: 15921},
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr5.json", "output file")
+	out := flag.String("o", "BENCH_pr6.json", "output file")
 	flag.Parse()
 
 	rep := Report{
@@ -118,6 +141,7 @@ func main() {
 		Baseline:    baseline,
 		BaselinePR3: baselinePR3,
 		BaselinePR4: baselinePR4,
+		BaselinePR5: baselinePR5,
 	}
 
 	run := func(name string, events *float64, fn func(b *testing.B)) Measurement {
@@ -255,6 +279,23 @@ func main() {
 		}
 	})
 
+	// One incremental link-table update: re-bucket the node in the spatial
+	// grid and splice its incident RX/CS edges in both directions —
+	// O(density) per move, the mobility layer's hot path. First measured
+	// in PR 6.
+	run("LinkTableMove/200nodes", nil, func(b *testing.B) {
+		dyn := channel.NewDynamicLinkTable(pts, params)
+		targets := make([]geom.Point, 1024)
+		for i := range targets {
+			targets[i] = geom.Point{X: r.Range(0, 200), Y: r.Range(0, 200)}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dyn.Move(i%len(pts), targets[i%len(targets)])
+		}
+	})
+
 	// The fault-robustness sweep, serial: per-round crash schedules, paced
 	// traffic with route refresh, soft-state expiry and the robustness
 	// fold. First measured in PR 5, so no baseline entry; the zero-fault
@@ -280,10 +321,37 @@ func main() {
 		}
 	})
 
+	// The mobility sweep, serial: per-seed motion plans over the dynamic
+	// link table, paced traffic with route refresh and the robustness
+	// fold. First measured in PR 6, so no baseline entry; the zero-motion
+	// budget is checked on the static sweeps above instead.
+	var mobEvents float64
+	run("MobilitySweep/workers=1", &mobEvents, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := mtmrp.MobilitySweep(mtmrp.MobilityConfig{
+				Topo:      mtmrp.GridTopo,
+				GroupSize: 10,
+				Speeds:    []float64{0, 15},
+				Pauses:    []mtmrp.Duration{0},
+				Runs:      2,
+				Packets:   8,
+				Seed:      uint64(i),
+				Protocols: []mtmrp.Protocol{mtmrp.MTMRP, mtmrp.ODMRP},
+				Engine:    mtmrp.EngineOptions{Workers: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mobEvents += res.Stats.RunEvents.Mean * float64(res.Stats.Completed)
+		}
+	})
+
 	if sweep.NsPerOp > 0 {
 		rep.Speedup = baseline[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR3 = baselinePR3[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR4 = baselinePR4[0].NsPerOp / sweep.NsPerOp
+		rep.SpeedupPR5 = baselinePR5[0].NsPerOp / sweep.NsPerOp
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -294,8 +362,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.2fx vs pr3, %.3fx vs pr4, %d allocs/op)\n",
-		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR3, rep.SpeedupPR4, sweep.AllocsPerOp)
+	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.2fx vs pr3, %.3fx vs pr4, %.3fx vs pr5, %d allocs/op)\n",
+		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR3, rep.SpeedupPR4, rep.SpeedupPR5, sweep.AllocsPerOp)
 }
 
 func fatal(err error) {

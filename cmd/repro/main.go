@@ -9,6 +9,7 @@
 //	repro -fig 9            Fig. 9  — grid snapshot, 20 receivers
 //	repro -fig 10           Fig. 10 — random snapshot, 15 receivers
 //	repro -fig faults       extension — PDR vs node-failure rate
+//	repro -fig mobility     extension — PDR and control overhead vs node speed
 //	repro -fig all          everything above (plus ablation/amortize/shadowing)
 //
 // -runs controls the Monte-Carlo rounds per point (paper: 100); lower it
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to reproduce: 1, 5, 6, 7, 8, 9, 10, ablation, amortize, shadowing, faults, or all")
+		fig     = flag.String("fig", "all", "figure to reproduce: 1, 5, 6, 7, 8, 9, 10, ablation, amortize, shadowing, faults, mobility, or all")
 		runs    = flag.Int("runs", 100, "Monte-Carlo rounds per data point")
 		seed    = flag.Uint64("seed", 2010, "base seed for the sweep")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
@@ -103,6 +104,8 @@ func main() {
 		err = figShadowing(*runs, *seed)
 	case "faults":
 		err = figFaults(*runs, *seed)
+	case "mobility":
+		err = figMobility(*runs, *seed)
 	case "all":
 		for _, f := range []func() error{
 			fig1,
@@ -116,6 +119,7 @@ func main() {
 			func() error { return figAmortize(*runs, *seed) },
 			func() error { return figShadowing(*runs, *seed) },
 			func() error { return figFaults(*runs, *seed) },
+			func() error { return figMobility(*runs, *seed) },
 		} {
 			if err = f(); err != nil {
 				break
@@ -507,6 +511,59 @@ func figFaults(runs int, seed uint64) error {
 		fmt.Println()
 	}
 	if err := writeCSV("faults", rows); err != nil {
+		return err
+	}
+	printStats(res.Stats)
+	fmt.Println()
+	return err
+}
+
+// figMobility runs the mobility extension: delivery and control overhead
+// versus node speed and pause time under random-waypoint motion, with
+// paced traffic, periodic route refresh and forwarder soft-state expiry
+// active (speed 0 is the static control row).
+func figMobility(runs int, seed uint64) error {
+	fmt.Printf("=== Extension: PDR and overhead vs node speed, grid, 20 receivers (%d runs) ===\n\n", runs)
+	res, err := mtmrp.MobilitySweep(mtmrp.MobilityConfig{
+		Topo: mtmrp.GridTopo, GroupSize: 20, Runs: runs, Seed: seed,
+		Engine: engine(),
+	})
+	if res == nil {
+		return err
+	}
+	if interrupted(err) {
+		notePartial(res.Stats)
+	}
+	fmt.Printf("%16s", "speed/pause")
+	for _, p := range res.Config.Protocols {
+		fmt.Printf("  %-33s", p)
+	}
+	fmt.Println()
+	fmt.Printf("%16s", "")
+	for range res.Config.Protocols {
+		fmt.Printf("  %-10s %-10s %-10s ", "mean PDR", "min PDR", "control")
+	}
+	fmt.Println()
+	rows := [][]string{{"speed", "pause_ms", "protocol", "mean_pdr", "min_pdr", "control_tx", "repairs"}}
+	for xi, pt := range res.Points {
+		fmt.Printf("%16s", pt)
+		for _, p := range res.Config.Protocols {
+			mean := res.Cell(p, xi, mtmrp.MobilityMeanPDR).Mean
+			min := res.Cell(p, xi, mtmrp.MobilityMinPDR).Mean
+			ctl := res.Cell(p, xi, mtmrp.MobilityControlTx).Mean
+			fmt.Printf("  %10.3f %10.3f %10.0f ", mean, min, ctl)
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", pt.Speed),
+				fmt.Sprintf("%d", int64(pt.Pause/mtmrp.Millisecond)),
+				p.String(),
+				fmt.Sprintf("%g", mean), fmt.Sprintf("%g", min),
+				fmt.Sprintf("%g", ctl),
+				fmt.Sprintf("%g", res.Cell(p, xi, mtmrp.MobilityRepairs).Mean),
+			})
+		}
+		fmt.Println()
+	}
+	if err := writeCSV("mobility", rows); err != nil {
 		return err
 	}
 	printStats(res.Stats)

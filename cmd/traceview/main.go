@@ -4,27 +4,42 @@
 //
 //	mtmrsim -proto mtmrp -receivers 20 -trace run.jsonl
 //	traceview run.jsonl
+//
+// With -motion it summarises a motion trace written by
+// `topogen -motion <file>` instead: node count, duration, distance
+// travelled and mean speed.
+//
+//	topogen -kind grid -motion plan.json > grid.json
+//	traceview -motion plan.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"mtmrp/internal/mobility"
 	"mtmrp/internal/trace"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: traceview <events.jsonl>")
+	motion := flag.Bool("motion", false, "summarise a motion trace instead of an event log")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-motion] <file>")
 		os.Exit(2)
 	}
-	if err := run(os.Args[1]); err != nil {
+	run := runEvents
+	if *motion {
+		run = runMotion
+	}
+	if err := run(flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string) error {
+func runEvents(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -35,5 +50,31 @@ func run(path string) error {
 		return err
 	}
 	fmt.Print(trace.Summarize(events).Format())
+	return nil
+}
+
+func runMotion(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	plan, err := mobility.Load(f)
+	if err != nil {
+		return err
+	}
+	moving, total := 0, 0.0
+	for _, p := range plan.Paths {
+		if d := p.Distance(); d > 0 {
+			moving++
+			total += d
+		}
+	}
+	fmt.Printf("file:       %s\n", path)
+	fmt.Printf("nodes:      %d (%d moving, %d pinned)\n", plan.N(), moving, plan.N()-moving)
+	fmt.Printf("field:      %.0f m\n", plan.Field)
+	fmt.Printf("duration:   %.2f s\n", plan.End().Seconds())
+	fmt.Printf("distance:   %.1f m total\n", total)
+	fmt.Printf("mean speed: %.2f m/s\n", plan.MeanSpeed())
 	return nil
 }

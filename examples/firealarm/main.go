@@ -64,14 +64,16 @@ func main() {
 
 	out, err := mtmrp.Run(mtmrp.Scenario{
 		Topo: topo, Source: 0, Receivers: actuators,
-		Protocol: mtmrp.MTMRP, Seed: 7, DataPackets: 50,
+		Protocol: mtmrp.MTMRP, Seed: 7,
+		Traffic: mtmrp.TrafficOptions{DataPackets: 50},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fl, err := mtmrp.Run(mtmrp.Scenario{
 		Topo: topo, Source: 0, Receivers: actuators,
-		Protocol: mtmrp.Flooding, Seed: 7, DataPackets: 50,
+		Protocol: mtmrp.Flooding, Seed: 7,
+		Traffic: mtmrp.TrafficOptions{DataPackets: 50},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -70,7 +70,8 @@ func main() {
 	// mtmrp.Run is the one-shot form of the same phases.
 	fl, err := mtmrp.Run(mtmrp.Scenario{
 		Topo: topo, Source: 0, Receivers: receivers,
-		Protocol: mtmrp.Flooding, Seed: 1, DataPackets: 3,
+		Protocol: mtmrp.Flooding, Seed: 1,
+		Traffic: mtmrp.TrafficOptions{DataPackets: 3},
 	})
 	if err != nil {
 		log.Fatal(err)

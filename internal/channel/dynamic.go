@@ -1,0 +1,158 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/sim"
+)
+
+// DynamicLinkTable owns a LinkTable whose node positions change during a
+// run. Where the static table is built once and shared immutably, the
+// dynamic table keeps a private position array and a mutable GridIndex so
+// that moving one node recomputes only that node's incident RX/CS edges:
+// the old reverse edges are deleted from its current carrier-sense
+// neighbors, the grid re-buckets the node, and the new edge set is rebuilt
+// from the grid's candidates — O(density) work per move, independent of
+// the total node count.
+//
+// The channel reads the table's per-node link lists at transmit time, so
+// mutations are consumed mid-run with no further plumbing: a frame put on
+// the air after a move propagates over the moved topology, while frames
+// already in flight keep the delay they were launched with — exactly the
+// physical semantics. The incremental update is bit-identical to a full
+// NewLinkTable rebuild over the moved positions (the differential test in
+// dynamic_test.go pins this), because edge values are pure functions of
+// the symmetric pairwise distance and both paths order lists ascending by
+// destination.
+//
+// A DynamicLinkTable is single-goroutine, like the simulation that owns
+// it. Sessions must never hand the shared static table of a sweep to a
+// mobile run; they build (or Rebind) their own dynamic table instead.
+type DynamicLinkTable struct {
+	t         LinkTable
+	positions []geom.Point
+	grid      *geom.GridIndex
+	cand      []int // grid-query scratch
+}
+
+// NewDynamicLinkTable builds a dynamic table over the starting positions.
+// It panics on degenerate radio parameters (zero or unbounded range): a
+// mutable grid needs a finite cell size, and no mobility study runs on a
+// radio without one.
+func NewDynamicLinkTable(positions []geom.Point, params radio.Params) *DynamicLinkTable {
+	rx := params.TxRange()
+	cs := params.CSRange()
+	if cs < rx {
+		panic("channel: carrier-sense range smaller than reception range")
+	}
+	if !(cs > 0) || math.IsInf(cs, 1) {
+		panic("channel: dynamic link table requires a positive, finite carrier-sense range")
+	}
+	d := &DynamicLinkTable{t: LinkTable{params: params}}
+	d.Rebind(positions)
+	return d
+}
+
+// Rebind rewinds the table to a fresh build over the given starting
+// positions, reusing the per-node list storage. Session.Reset calls it so
+// a pooled mobile session starts every run from the same state a fresh
+// NewDynamicLinkTable would produce.
+func (d *DynamicLinkTable) Rebind(positions []geom.Point) {
+	n := len(positions)
+	d.t.n = n
+	if cap(d.positions) < n {
+		d.positions = make([]geom.Point, n)
+	}
+	d.positions = d.positions[:n]
+	copy(d.positions, positions)
+	if len(d.t.rx) != n {
+		d.t.rx = make([][]link, n)
+		d.t.cs = make([][]link, n)
+	}
+	d.grid = geom.NewGridIndex(d.positions, d.t.params.CSRange()/2)
+	d.cand = d.t.fillGrid(d.positions, d.grid, d.cand)
+}
+
+// Table returns the live link table. The pointer stays valid across moves
+// and Rebinds — the channel holds it for the whole session.
+func (d *DynamicLinkTable) Table() *LinkTable { return &d.t }
+
+// N returns the node count.
+func (d *DynamicLinkTable) N() int { return d.t.n }
+
+// Position returns node i's current position.
+func (d *DynamicLinkTable) Position(i int) geom.Point { return d.positions[i] }
+
+// Move relocates node i to p and incrementally updates every edge
+// incident to it. The carrier-sense disc is symmetric, so cs[i] lists
+// exactly the nodes holding a reverse edge back to i — no scan over the
+// other n-1 nodes is ever needed.
+func (d *DynamicLinkTable) Move(i int, p geom.Point) {
+	if p == d.positions[i] {
+		return
+	}
+	for _, l := range d.t.cs[i] {
+		d.t.cs[l.to] = removeLinkTo(d.t.cs[l.to], i)
+	}
+	for _, l := range d.t.rx[i] {
+		d.t.rx[l.to] = removeLinkTo(d.t.rx[l.to], i)
+	}
+	d.positions[i] = p
+	d.grid.Move(i, p)
+	rx := d.t.params.TxRange()
+	cs := d.t.params.CSRange()
+	model, txPower := d.t.params.Model, d.t.params.TxPower
+	d.t.cs[i] = d.t.cs[i][:0]
+	d.t.rx[i] = d.t.rx[i][:0]
+	d.cand = d.grid.Candidates(p, cs, d.cand[:0])
+	for _, j := range d.cand {
+		if j == i {
+			continue
+		}
+		// Dist is symmetric bitwise (Hypot of the differences), so the
+		// forward and reverse edges carry identical delay and power — the
+		// same values a from-scratch rebuild computes for both directions.
+		dist := p.Dist(d.positions[j])
+		if dist <= cs {
+			fwd := link{
+				to:    j,
+				delay: sim.Seconds(radio.PropDelay(dist)),
+				power: model.ReceivedPower(txPower, dist),
+			}
+			d.t.cs[i] = append(d.t.cs[i], fwd)
+			rev := link{to: i, delay: fwd.delay, power: fwd.power}
+			d.t.cs[j] = insertLinkTo(d.t.cs[j], rev)
+			if dist <= rx {
+				d.t.rx[i] = append(d.t.rx[i], fwd)
+				d.t.rx[j] = insertLinkTo(d.t.rx[j], rev)
+			}
+		}
+	}
+}
+
+// removeLinkTo deletes the edge to the given destination from a list
+// ascending by destination, preserving order.
+func removeLinkTo(ls []link, to int) []link {
+	i := sort.Search(len(ls), func(k int) bool { return ls[k].to >= to })
+	if i >= len(ls) || ls[i].to != to {
+		panic(fmt.Sprintf("channel: dynamic link table missing reverse edge to %d", to))
+	}
+	copy(ls[i:], ls[i+1:])
+	return ls[:len(ls)-1]
+}
+
+// insertLinkTo inserts l into a list ascending by destination.
+func insertLinkTo(ls []link, l link) []link {
+	i := sort.Search(len(ls), func(k int) bool { return ls[k].to >= l.to })
+	if i < len(ls) && ls[i].to == l.to {
+		panic(fmt.Sprintf("channel: dynamic link table duplicate edge to %d", l.to))
+	}
+	ls = append(ls, link{})
+	copy(ls[i+1:], ls[i:])
+	ls[i] = l
+	return ls
+}

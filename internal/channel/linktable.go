@@ -52,9 +52,22 @@ func NewLinkTable(positions []geom.Point, params radio.Params) *LinkTable {
 		rx:     make([][]link, len(positions)),
 		cs:     make([][]link, len(positions)),
 	}
-	grid := geom.NewGridIndex(positions, cs/2)
-	var cand []int
+	t.fillGrid(positions, geom.NewGridIndex(positions, cs/2), nil)
+	return t
+}
+
+// fillGrid populates t's per-node link lists from positions through the
+// spatial index, reusing each node's existing slice storage. Lists come
+// out ascending by destination — Candidates returns ascending indices —
+// exactly as the naive all-pairs scan orders them. It returns the
+// candidate scratch slice so callers can carry it across fills.
+func (t *LinkTable) fillGrid(positions []geom.Point, grid *geom.GridIndex, cand []int) []int {
+	rx := t.params.TxRange()
+	cs := t.params.CSRange()
+	model, txPower := t.params.Model, t.params.TxPower
 	for i := range positions {
+		t.cs[i] = t.cs[i][:0]
+		t.rx[i] = t.rx[i][:0]
 		cand = grid.Candidates(positions[i], cs, cand[:0])
 		for _, j := range cand {
 			if j == i {
@@ -65,7 +78,7 @@ func NewLinkTable(positions []geom.Point, params radio.Params) *LinkTable {
 				l := link{
 					to:    j,
 					delay: sim.Seconds(radio.PropDelay(d)),
-					power: params.Model.ReceivedPower(params.TxPower, d),
+					power: model.ReceivedPower(txPower, d),
 				}
 				t.cs[i] = append(t.cs[i], l)
 				if d <= rx {
@@ -74,7 +87,7 @@ func NewLinkTable(positions []geom.Point, params radio.Params) *LinkTable {
 			}
 		}
 	}
-	return t
+	return cand
 }
 
 // newLinkTableNaive is the reference O(n²) builder. It backs degenerate

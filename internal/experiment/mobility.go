@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"mtmrp/internal/experiment/sweep"
+	"mtmrp/internal/mobility"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/stats"
+)
+
+// Mobility study (extension). The paper's evaluation is static; this
+// driver re-runs the evaluation point with nodes in motion to measure how
+// each protocol's discovery refresh holds a multicast structure together
+// while the topology drifts under it. The x-axis is the (speed, pause)
+// grid of a random-waypoint field; the y-axes are delivery (mean/min PDR
+// over the group), the control overhead paid to keep it, and the repairs
+// the soft state performs.
+
+// MobilityMetric indexes the metric vector of a mobility sweep.
+type MobilityMetric int
+
+// Mobility-sweep metric identifiers.
+const (
+	MobilityMeanPDR   MobilityMetric = iota // mean per-receiver packet delivery ratio
+	MobilityMinPDR                          // worst receiver's delivery ratio
+	MobilityControlTx                       // control transmissions per run
+	MobilityRepairs                         // closed delivery gaps per run
+	NumMobilityMetrics
+)
+
+// String implements fmt.Stringer.
+func (m MobilityMetric) String() string {
+	switch m {
+	case MobilityMeanPDR:
+		return "mean packet delivery ratio"
+	case MobilityMinPDR:
+		return "minimum packet delivery ratio"
+	case MobilityControlTx:
+		return "control transmissions"
+	case MobilityRepairs:
+		return "repairs"
+	default:
+		return fmt.Sprintf("MobilityMetric(%d)", int(m))
+	}
+}
+
+// MobilityPoint is one x-axis point of the sweep: a maximum node speed and
+// a waypoint pause. Speed 0 is the static control — it leaves the
+// Mobility group zero, so those runs take the shared static link-table
+// path and double as the sweep's regression anchor.
+type MobilityPoint struct {
+	Speed float64
+	Pause sim.Time
+}
+
+// String implements fmt.Stringer, matching figure tick labels.
+func (p MobilityPoint) String() string {
+	return fmt.Sprintf("%gm/s/%dms", p.Speed, int64(p.Pause/sim.Millisecond))
+}
+
+// MobilityConfig parameterises the mobility sweep. Points is the cross
+// product of Speeds and Pauses.
+type MobilityConfig struct {
+	Topo      TopoKind
+	GroupSize int
+	Speeds    []float64  // maximum node speeds in m/s; 0 reproduces the static run
+	Pauses    []sim.Time // waypoint pauses; each speed is swept at each pause
+	Runs      int
+	Seed      uint64
+	Protocols []Protocol
+
+	// Model selects the motion model for the moving points (default
+	// random waypoint; RPGM sweeps correlated group motion instead).
+	Model mobility.Model
+
+	// Packets and Interval shape the paced data phase the motion runs
+	// under (defaults: 20 packets, 50 ms apart — a 1 s traffic window).
+	Packets  int
+	Interval sim.Time
+	// RefreshInterval re-floods the JoinQuery during traffic;
+	// ForwarderExpiry ages forwarder flags out between refreshes. Together
+	// they are the repair mechanism racing the motion (defaults
+	// 200 ms / 300 ms).
+	RefreshInterval sim.Time
+	ForwarderExpiry sim.Time
+
+	Engine EngineOptions // worker pool, cancellation, progress, errors
+
+	// Workers is a convenience alias for Engine.Workers.
+	Workers int
+}
+
+// Points expands the configured speed and pause axes into the sweep's
+// x-axis, speed-major: all pauses of the first speed, then the next.
+func (cfg *MobilityConfig) Points() []MobilityPoint {
+	pts := make([]MobilityPoint, 0, len(cfg.Speeds)*len(cfg.Pauses))
+	for _, s := range cfg.Speeds {
+		for _, p := range cfg.Pauses {
+			pts = append(pts, MobilityPoint{Speed: s, Pause: p})
+		}
+	}
+	return pts
+}
+
+// MobilityResult holds per-(protocol, point) summaries, metric-major like
+// the other sweep results.
+type MobilityResult struct {
+	Config  MobilityConfig
+	Points  []MobilityPoint
+	Metrics map[Protocol][][NumMobilityMetrics]stats.Summary // [protocol][pointIdx][metric]
+	Stats   sweep.Stats
+}
+
+// Cell returns the summary for one (protocol, point, metric) cell.
+func (r *MobilityResult) Cell(p Protocol, pi int, m MobilityMetric) stats.Summary {
+	return r.Metrics[p][pi][m]
+}
+
+// MobilitySweep runs the mobility study on the shared sweep engine. Each
+// round draws its topology and receiver group from the round's RNG
+// substreams; the motion plan itself is drawn inside the session from the
+// run seed's "mobility" substream, so every protocol at a point rides the
+// identical motion and the whole sweep is a pure function of
+// (config, seed): bit-identical across worker counts and across pooled
+// versus fresh sessions.
+func MobilitySweep(cfg MobilityConfig) (*MobilityResult, error) {
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = AllProtocols
+	}
+	if len(cfg.Speeds) == 0 {
+		cfg.Speeds = []float64{0, 5, 10, 20}
+	}
+	if len(cfg.Pauses) == 0 {
+		cfg.Pauses = []sim.Time{0, 500 * sim.Millisecond}
+	}
+	if cfg.Model == mobility.None {
+		cfg.Model = mobility.RandomWaypoint
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 20
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 20
+	}
+	if cfg.Packets == 0 {
+		cfg.Packets = 20
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 50 * sim.Millisecond
+	}
+	if cfg.RefreshInterval == 0 {
+		cfg.RefreshInterval = 200 * sim.Millisecond
+	}
+	if cfg.ForwarderExpiry == 0 {
+		cfg.ForwarderExpiry = 300 * sim.Millisecond
+	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = cfg.Workers
+	}
+
+	protos := cfg.Protocols
+	points := cfg.Points()
+	// Run-major job order (see GroupSizeSweep): a cancelled sweep keeps
+	// partial data at every point. Labels depend only on (point index,
+	// run), never on worker identity.
+	total := len(points) * cfg.Runs
+	label := func(i int) string {
+		return fmt.Sprintf("mobility-%s-%d-%d", cfg.Topo, i%len(points), i/len(points))
+	}
+	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,
+		func(_ context.Context, job *sweep.Job) ([][NumMobilityMetrics]float64, error) {
+			pt := points[job.Index%len(points)]
+			round := job.RNG
+			topo, links, err := buildRound(cfg.Topo, round)
+			if err != nil {
+				return nil, err
+			}
+			rcv, err := topo.PickReceivers(0, cfg.GroupSize, round.Derive("receivers"))
+			if err != nil {
+				return nil, err
+			}
+			// Speed 0 leaves the Mobility group zero: the static control
+			// point runs the shared immutable link table, exactly like the
+			// pre-mobility sweeps. Every protocol shares the run seed, so
+			// the per-seed motion plan is identical across the protocol
+			// loop and they compete on the same drift.
+			var mo MobilityOptions
+			if pt.Speed > 0 {
+				mo = MobilityOptions{
+					Model:    cfg.Model,
+					MaxSpeed: pt.Speed,
+					Pause:    pt.Pause,
+				}
+			}
+			values := make([][NumMobilityMetrics]float64, len(protos))
+			for pi, p := range protos {
+				out, err := poolRun(job, Scenario{
+					Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+					Seed:  round.Derive("run").Uint64(),
+					Links: links,
+					Traffic: TrafficOptions{
+						DataPackets:     cfg.Packets,
+						Interval:        cfg.Interval,
+						RefreshInterval: cfg.RefreshInterval,
+					},
+					Faults: FaultOptions{
+						ForwarderExpiry: cfg.ForwarderExpiry,
+					},
+					Mobility: mo,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%v: %w", p, err)
+				}
+				job.AddEvents(out.Net.Sim.Processed())
+				rb := out.Robustness
+				values[pi] = [NumMobilityMetrics]float64{
+					rb.MeanPDR,
+					rb.MinPDR,
+					float64(out.Result.ControlTx),
+					float64(rb.Repairs),
+				}
+			}
+			return values, nil
+		})
+	if err != nil && !sweep.PartialOK(err) {
+		return nil, err
+	}
+
+	acc := make([][][NumMobilityMetrics]stats.Accumulator, len(points))
+	for i := range points {
+		acc[i] = make([][NumMobilityMetrics]stats.Accumulator, len(protos))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		xi := i % len(points)
+		for pi := range protos {
+			for m := 0; m < int(NumMobilityMetrics); m++ {
+				acc[xi][pi][m].Add(o.Value[pi][m])
+			}
+		}
+	}
+
+	res := &MobilityResult{
+		Config:  cfg,
+		Points:  points,
+		Metrics: make(map[Protocol][][NumMobilityMetrics]stats.Summary),
+		Stats:   st,
+	}
+	for pi, p := range protos {
+		rows := make([][NumMobilityMetrics]stats.Summary, len(points))
+		for xi := range points {
+			for m := 0; m < int(NumMobilityMetrics); m++ {
+				rows[xi][m] = acc[xi][pi][m].Summary()
+			}
+		}
+		res.Metrics[p] = rows
+	}
+	return res, err
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"mtmrp/internal/channel"
 	"mtmrp/internal/fault"
+	"mtmrp/internal/mobility"
 	"mtmrp/internal/network"
 	"mtmrp/internal/sim"
 )
@@ -61,6 +62,38 @@ type FaultOptions struct {
 	ForwarderExpiry sim.Time
 }
 
+// MobilityOptions groups the node-motion knobs of a Scenario. The zero
+// value is a static field — the paper's setting — and takes the shared
+// static link-table path untouched, so every existing experiment is
+// byte-identical with mobility absent. A non-zero group gives the session
+// its own dynamic link table, draws a motion plan from the run seed's
+// "mobility" substream (or replays Trace), and executes it as scheduled
+// events during the paced data phase; the multicast source is pinned.
+type MobilityOptions struct {
+	// Model selects the motion model (MobilityNone = static field).
+	Model mobility.Model
+	// MinSpeed and MaxSpeed bound the per-leg uniform speed in m/s.
+	// MinSpeed defaults to MaxSpeed/10 (the speed-decay guard).
+	MinSpeed, MaxSpeed float64
+	// Pause is the maximum waypoint pause, uniform in [0,Pause]; zero
+	// means continuous motion.
+	Pause sim.Time
+	// Step is the position-update tick (default mobility.DefaultStep).
+	Step sim.Time
+	// Groups is the RPGM group count (default 4); ignored by other models.
+	Groups int
+	// Trace, when non-nil, replays a recorded motion plan (see
+	// cmd/topogen -motion) instead of drawing one; Model and the speed
+	// knobs are then ignored. The plan must cover exactly Topo.N() nodes.
+	Trace *mobility.Plan
+}
+
+// active reports whether the scenario moves nodes at all. Inactive
+// mobility takes the static link-table path bit for bit.
+func (m *MobilityOptions) active() bool {
+	return m.Model != mobility.None || m.Trace != nil
+}
+
 // normalize merges the deprecated flat Scenario fields into the grouped
 // options, applies the documented defaults, and mirrors the canonical
 // values back onto the flat aliases so readers of either spelling agree.
@@ -102,6 +135,20 @@ func (sc *Scenario) normalize() {
 		sc.Traffic.DiscoveryRounds = 2
 	}
 
+	// Mobility has no flat aliases; defaults apply only when the group is
+	// active, so an all-zero group stays exactly zero (static path).
+	if sc.Mobility.active() {
+		if sc.Mobility.Step <= 0 {
+			sc.Mobility.Step = mobility.DefaultStep
+		}
+		if sc.Mobility.Groups <= 0 {
+			sc.Mobility.Groups = 4
+		}
+		if sc.Mobility.MinSpeed <= 0 {
+			sc.Mobility.MinSpeed = sc.Mobility.MaxSpeed / 10
+		}
+	}
+
 	sc.MAC = sc.Radio.MAC
 	sc.DisableCollisions = sc.Radio.DisableCollisions
 	sc.ShadowingSigmaDB = sc.Radio.ShadowingSigmaDB
@@ -117,6 +164,19 @@ func (sc *Scenario) validate() error {
 	}
 	if sc.Topo == nil || sc.Source < 0 || sc.Source >= sc.Topo.N() {
 		return ErrBadSource
+	}
+	if sc.Mobility.active() {
+		// Traffic.Interval has no flat alias, so it is readable before
+		// normalize runs.
+		if sc.Traffic.Interval <= 0 {
+			return ErrMobilityUnpaced
+		}
+		if sc.Mobility.Trace == nil && sc.Mobility.MaxSpeed <= 0 {
+			return ErrMobilitySpeed
+		}
+		if tr := sc.Mobility.Trace; tr != nil && tr.N() != sc.Topo.N() {
+			return ErrMobilityTrace
+		}
 	}
 	return nil
 }

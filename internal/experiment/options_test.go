@@ -6,6 +6,7 @@ import (
 
 	"mtmrp/internal/channel"
 	"mtmrp/internal/fault"
+	"mtmrp/internal/mobility"
 	"mtmrp/internal/network"
 	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
@@ -25,6 +26,13 @@ func optionScenarios(t *testing.T) (flat, grouped Scenario) {
 		Topo: topo, Source: 0, Receivers: recv,
 		Protocol: ODMRP, Seed: 11,
 	}
+	// Mobility has no flat spelling — it is grouped-only — but it must
+	// behave identically whichever way the rest of the scenario is spelled,
+	// so both sides carry the same motion (over a paced data phase, which
+	// mobility requires).
+	base.Mobility = MobilityOptions{Model: mobility.RandomWaypoint, MaxSpeed: 10}
+	base.Traffic.Interval = 50 * sim.Millisecond
+
 	flat = base
 	flat.MAC = network.MACIdeal
 	flat.DisableCollisions = true
@@ -35,7 +43,10 @@ func optionScenarios(t *testing.T) (flat, grouped Scenario) {
 
 	grouped = base
 	grouped.Radio = RadioOptions{MAC: network.MACIdeal, DisableCollisions: true, ShadowingSigmaDB: 4}
-	grouped.Traffic = TrafficOptions{PayloadLen: 128, DataPackets: 3, DiscoveryRounds: 1}
+	grouped.Traffic = TrafficOptions{
+		PayloadLen: 128, DataPackets: 3, DiscoveryRounds: 1,
+		Interval: 50 * sim.Millisecond,
+	}
 	return flat, grouped
 }
 

@@ -7,7 +7,10 @@ import (
 // poolKey is the session shape that must match for reuse: everything a
 // Session bakes into its long-lived structures at construction time.
 // Per-run inputs (seed, topology instance, receivers, packet counts, N, δ)
-// are applied by Session.Reset and deliberately absent.
+// are applied by Session.Reset and deliberately absent. Mobility is also
+// absent: it is per-run state — Reset rebinds the session's dynamic link
+// table to the start positions and redraws the motion plan — so mobile
+// and static runs of one shape share a pooled session.
 type poolKey struct {
 	Protocol          Protocol
 	MAC               network.MACKind

@@ -89,6 +89,9 @@ type Scenario struct {
 	Traffic TrafficOptions
 	// Faults injects node/link dynamics and soft-states the protocols.
 	Faults FaultOptions
+	// Mobility moves nodes during the paced data phase (zero = the
+	// paper's static field).
+	Mobility MobilityOptions
 
 	// MAC and DisableCollisions select the channel realism.
 	//
@@ -139,7 +142,9 @@ type Scenario struct {
 	// default radio (radioFor(Topo)) — typically shared across the
 	// protocol variants of a paired round, or across every round on the
 	// fixed grid. The simulated behaviour is identical with or without it;
-	// sharing only removes the per-run O(n·density) table build.
+	// sharing only removes the per-run O(n·density) table build. Mobile
+	// scenarios (Mobility active) ignore it: the session owns a dynamic
+	// table instead, because a shared table must never be mutated.
 	Links *channel.LinkTable
 }
 
@@ -147,6 +152,16 @@ type Scenario struct {
 var (
 	ErrNoReceivers = errors.New("experiment: scenario has no receivers")
 	ErrBadSource   = errors.New("experiment: source index out of range")
+	// ErrMobilityUnpaced rejects a mobile scenario without a paced data
+	// phase (Traffic.Interval > 0): motion executes as scheduled events
+	// inside that phase, so without pacing nothing would ever move.
+	ErrMobilityUnpaced = errors.New("experiment: mobility requires Traffic.Interval > 0")
+	// ErrMobilitySpeed rejects a drawn motion model with no positive
+	// MaxSpeed.
+	ErrMobilitySpeed = errors.New("experiment: mobility model requires MaxSpeed > 0")
+	// ErrMobilityTrace rejects a motion trace that does not cover exactly
+	// the topology's nodes.
+	ErrMobilityTrace = errors.New("experiment: mobility trace does not match topology size")
 )
 
 // Outcome bundles the metrics of one run with the session bookkeeping the

@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 
+	"mtmrp/internal/channel"
 	"mtmrp/internal/energy"
 	"mtmrp/internal/fault"
 	"mtmrp/internal/metrics"
+	"mtmrp/internal/mobility"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/proto"
+	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
 	"mtmrp/internal/trace"
 )
@@ -47,6 +50,12 @@ type Session struct {
 	helloDone  bool
 	discovered bool
 
+	// dyn is the session-owned dynamic link table of a mobile scenario
+	// (nil for static runs, which share an immutable table); mover drives
+	// it along the run's motion plan during the paced data phase.
+	dyn   *channel.DynamicLinkTable
+	mover *mobility.Mover
+
 	dests []packet.NodeID // SetDestinations scratch, reused across Reset
 }
 
@@ -66,6 +75,13 @@ func NewSession(sc Scenario) (*Session, error) {
 	cfg.DisableCollisions = sc.Radio.DisableCollisions
 	cfg.ShadowingSigmaDB = sc.Radio.ShadowingSigmaDB
 	cfg.Links = sc.Links
+	// A mobile session owns its link table — motion mutates it in place,
+	// and a caller-shared (possibly cached) table must never be mutated.
+	var dyn *channel.DynamicLinkTable
+	if sc.Mobility.active() {
+		dyn = channel.NewDynamicLinkTable(sc.Topo.Positions, cfg.Radio)
+		cfg.Links = dyn.Table()
+	}
 	net := network.New(sc.Topo, cfg)
 
 	pcfg := proto.DefaultConfig()
@@ -90,10 +106,12 @@ func NewSession(sc Scenario) (*Session, error) {
 		routers: routers,
 		col:     metrics.NewCollector(net, packet.NodeID(sc.Source), group, sc.Receivers),
 		meter:   energy.NewMeter(sc.Topo, cfg.Radio, energy.DefaultModel()),
+		dyn:     dyn,
 	}
 	// Geographic multicast assumes the source knows its receivers.
 	s.setDestinations(sc)
 	s.applyFaults(sc)
+	s.applyMobility(sc)
 	s.meter.Attach(net)
 	if sc.TraceWriter != nil {
 		s.logger = trace.NewLogger(sc.TraceWriter)
@@ -116,6 +134,38 @@ func (s *Session) applyFaults(sc Scenario) {
 		}
 	}
 	fault.Arm(s.net, sc.Faults.Schedule)
+}
+
+// applyMobility installs the scenario's motion: it draws the run's plan
+// from the seed's dedicated "mobility" substream (a pure function of the
+// scenario, same house rule as the fault planner — no randomness is
+// consumed at run time) or adopts the configured trace, and builds a fresh
+// mover over the session's dynamic table. The mover is armed later, at the
+// start of the paced data phase, because each phase drains the event queue
+// completely — ticks armed at construction would be consumed by the HELLO
+// phase at topology-start positions. NewSession and Reset both call it
+// after applyFaults; an inactive group sheds any previous run's mover.
+func (s *Session) applyMobility(sc Scenario) {
+	if !sc.Mobility.active() {
+		s.mover = nil
+		return
+	}
+	plan := sc.Mobility.Trace
+	if plan == nil {
+		cfg := mobility.Config{
+			Model:    sc.Mobility.Model,
+			Field:    sc.Topo.Side,
+			MinSpeed: sc.Mobility.MinSpeed,
+			MaxSpeed: sc.Mobility.MaxSpeed,
+			Pause:    sc.Mobility.Pause,
+			Horizon:  sc.Traffic.Interval * sim.Time(sc.Traffic.DataPackets),
+			Groups:   sc.Mobility.Groups,
+			Pinned:   []int{sc.Source},
+		}
+		p := mobility.Draw(cfg, sc.Topo.Positions, rng.New(sc.Seed).Derive("mobility"))
+		plan = &p
+	}
+	s.mover = mobility.NewMover(plan, s.dyn, sc.Mobility.Step)
 }
 
 // setDestinations installs the receiver list at the source for protocols
@@ -158,7 +208,17 @@ func (s *Session) Reset(sc Scenario) error {
 	}
 	sc.normalize()
 	links := sc.Links
-	if links == nil {
+	if sc.Mobility.active() {
+		// A mobile run needs the session-owned mutable table, rewound to
+		// the topology's start positions (or built now if the pooled
+		// session's earlier runs were static).
+		if s.dyn == nil {
+			s.dyn = channel.NewDynamicLinkTable(sc.Topo.Positions, radioFor(sc.Topo))
+		} else {
+			s.dyn.Rebind(sc.Topo.Positions)
+		}
+		links = s.dyn.Table()
+	} else if links == nil {
 		links = LinkTableFor(sc.Topo)
 	}
 	s.net.Reset(sc.Topo, links, sc.Seed)
@@ -173,6 +233,7 @@ func (s *Session) Reset(sc Scenario) error {
 	}
 	s.setDestinations(sc)
 	s.applyFaults(sc)
+	s.applyMobility(sc)
 	s.col.Reset(packet.NodeID(sc.Source), s.group, sc.Receivers)
 	s.meter.Rebind(sc.Topo)
 	s.sc = sc
@@ -280,6 +341,14 @@ func (s *Session) runPacedData(n int, iv sim.Time) {
 				s.key = s.routers[s.sc.Source].FloodQuery(s.group)
 			})
 		}
+	}
+	// Motion plays over the data phase. Armed last — after the sends and
+	// refreshes — so its events carry the highest sequence numbers at any
+	// shared timestamp; the fixed arming order is part of what keeps fresh
+	// and pooled mobile runs bit-identical. Arm is idempotent: motion runs
+	// once even if RunData is called again.
+	if s.mover != nil {
+		s.mover.Arm(s.net.Sim, base, sim.Time(n)*iv)
 	}
 	s.net.Run()
 }

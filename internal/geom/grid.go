@@ -12,12 +12,16 @@ import (
 // under the disc's bounding square) — O(density) for fields much larger
 // than r, instead of O(n).
 //
-// The index is immutable after construction and safe for concurrent reads.
+// The build path never mutates an index after construction, so an index
+// that is only queried is safe for concurrent reads. Move re-buckets a
+// single point in place for dynamic topologies; an index being moved is
+// single-goroutine, like the simulation that owns it.
 type GridIndex struct {
 	cell       float64 // cell edge length (> 0, finite)
 	minX, minY float64
 	nx, ny     int
 	buckets    [][]int32 // point indices per cell, ascending within a cell
+	cells      []int32   // cells[i] = bucket of point i (Move bookkeeping)
 }
 
 // NewGridIndex builds an index over pts with the given cell edge length.
@@ -57,11 +61,51 @@ func NewGridIndex(pts []Point, cell float64) *GridIndex {
 	}
 	// Appending in point order keeps every bucket ascending by index, which
 	// lets Candidates return a deterministic, sorted result.
+	g.cells = make([]int32, len(pts))
 	for i, p := range pts {
 		c := g.cellOf(p)
 		g.buckets[c] = append(g.buckets[c], int32(i))
+		g.cells[i] = int32(c)
 	}
 	return g
+}
+
+// Move re-buckets point id at its new position p. Only the two affected
+// buckets are touched — O(bucket occupancy), independent of the total
+// point count — and both stay ascending, so Candidates' contract is
+// unchanged. The grid's bounds are a build-time property, not a fence:
+// a point moving outside the original bounding box lands in the border
+// cell on that side (cellOf clamps), and because Candidates clamps its
+// query rectangle the same way, its results remain a superset of the
+// points within the query radius.
+func (g *GridIndex) Move(id int, p Point) {
+	c := int32(g.cellOf(p))
+	old := g.cells[id]
+	if c == old {
+		return
+	}
+	g.cells[id] = c
+	g.buckets[old] = removeSorted(g.buckets[old], int32(id))
+	g.buckets[c] = insertSorted(g.buckets[c], int32(id))
+}
+
+// removeSorted deletes v from the ascending slice b, preserving order.
+func removeSorted(b []int32, v int32) []int32 {
+	i := sort.Search(len(b), func(k int) bool { return b[k] >= v })
+	if i >= len(b) || b[i] != v {
+		return b // not present; nothing to do
+	}
+	copy(b[i:], b[i+1:])
+	return b[:len(b)-1]
+}
+
+// insertSorted inserts v into the ascending slice b, preserving order.
+func insertSorted(b []int32, v int32) []int32 {
+	i := sort.Search(len(b), func(k int) bool { return b[k] >= v })
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = v
+	return b
 }
 
 // cellsAcross returns the cell count covering a span of the given extent.

@@ -1,0 +1,41 @@
+package mobility
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the plan as indented JSON — the motion-trace format
+// cmd/topogen emits and cmd/traceview (or Scenario.Mobility.Trace via
+// Load) replays. Knot times are nanoseconds relative to motion start.
+func (pl *Plan) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pl)
+}
+
+// Load reads a plan written by Save and validates its shape.
+func Load(r io.Reader) (*Plan, error) {
+	var pl Plan
+	if err := json.NewDecoder(r).Decode(&pl); err != nil {
+		return nil, fmt.Errorf("mobility: parse plan: %w", err)
+	}
+	if len(pl.Paths) == 0 {
+		return nil, fmt.Errorf("mobility: plan has no paths")
+	}
+	for i, p := range pl.Paths {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("mobility: node %d has an empty path", i)
+		}
+		for k := 1; k < len(p); k++ {
+			if p[k].At < p[k-1].At {
+				return nil, fmt.Errorf("mobility: node %d knots out of order at %d", i, k)
+			}
+		}
+		if p[0].At != 0 {
+			return nil, fmt.Errorf("mobility: node %d path does not start at t=0", i)
+		}
+	}
+	return &pl, nil
+}

@@ -1,0 +1,208 @@
+package mobility
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/geom"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+)
+
+func field(n int, side float64, seed uint64) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
+	}
+	return pts
+}
+
+func rwpConfig() Config {
+	return Config{
+		Model:    RandomWaypoint,
+		Field:    200,
+		MaxSpeed: 10,
+		Pause:    200 * sim.Millisecond,
+		Horizon:  2 * sim.Second,
+		Pinned:   []int{0},
+	}
+}
+
+// TestDrawDeterministic pins the house rule: a plan is a pure function of
+// (config, stream).
+func TestDrawDeterministic(t *testing.T) {
+	pts := field(30, 200, 5)
+	a := Draw(rwpConfig(), pts, rng.New(42).Derive("mobility"))
+	b := Draw(rwpConfig(), pts, rng.New(42).Derive("mobility"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (config, seed) drew different plans")
+	}
+	c := Draw(rwpConfig(), pts, rng.New(43).Derive("mobility"))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical plans")
+	}
+}
+
+// TestDrawShape checks the structural invariants of a drawn plan: paths
+// start at the node's position at t=0, knots ascend, every waypoint is
+// inside the field, pinned nodes never move, and each moving path covers
+// the horizon.
+func TestDrawShape(t *testing.T) {
+	pts := field(30, 200, 6)
+	cfg := rwpConfig()
+	pl := Draw(cfg, pts, rng.New(7))
+	if pl.N() != len(pts) {
+		t.Fatalf("plan covers %d nodes, want %d", pl.N(), len(pts))
+	}
+	for i, p := range pl.Paths {
+		if p[0].At != 0 || p[0].Pos != pts[i] {
+			t.Fatalf("node %d path starts at %v/%v, want 0/%v", i, p[0].At, p[0].Pos, pts[i])
+		}
+		for k := 1; k < len(p); k++ {
+			if p[k].At <= p[k-1].At {
+				t.Fatalf("node %d knots not ascending at %d", i, k)
+			}
+			if !p[k].Pos.In(cfg.Field) {
+				t.Fatalf("node %d waypoint %v outside field", i, p[k].Pos)
+			}
+		}
+		if i == 0 {
+			if len(p) != 1 {
+				t.Fatalf("pinned node has %d knots", len(p))
+			}
+			continue
+		}
+		if p.End() < cfg.Horizon {
+			t.Fatalf("node %d path ends at %v, horizon %v", i, p.End(), cfg.Horizon)
+		}
+	}
+}
+
+// TestRPGMGroupStructure checks that RPGM members start in place and that
+// the members of one group move with identical deltas wherever no clamp
+// engages.
+func TestRPGMGroupStructure(t *testing.T) {
+	pts := field(24, 200, 8)
+	cfg := rwpConfig()
+	cfg.Model = RPGM
+	cfg.Groups = 4
+	cfg.Pause = 0
+	pl := Draw(cfg, pts, rng.New(9))
+	for i, p := range pl.Paths {
+		if p[0].Pos != pts[i] {
+			t.Fatalf("node %d jumps at t=0: %v != %v", i, p[0].Pos, pts[i])
+		}
+	}
+	// Nodes 1 and 5 share group 1 (i mod 4); away from the field border
+	// their displacement from start must match knot for knot.
+	a, b := pl.Paths[1], pl.Paths[5]
+	if len(a) != len(b) {
+		t.Fatalf("groupmates have different knot counts: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if a[k].At != b[k].At {
+			t.Fatalf("groupmates desynchronized at knot %d", k)
+		}
+		da := a[k].Pos.Sub(a[0].Pos)
+		db := b[k].Pos.Sub(b[0].Pos)
+		// Clamping can bend one member's path at the border; only compare
+		// knots where neither touches it.
+		interior := func(p geom.Point) bool {
+			return p.X > 0 && p.X < cfg.Field && p.Y > 0 && p.Y < cfg.Field
+		}
+		if interior(a[k].Pos) && interior(b[k].Pos) && (da != db) {
+			t.Fatalf("groupmates moved differently at knot %d: %v vs %v", k, da, db)
+		}
+	}
+}
+
+// TestPathAt pins interpolation: linear between knots, frozen after the
+// last, constant during pauses, cursor-stable under monotone queries.
+func TestPathAt(t *testing.T) {
+	p := Path{
+		{At: 0, Pos: geom.Point{X: 0, Y: 0}},
+		{At: sim.Second, Pos: geom.Point{X: 10, Y: 0}},
+		{At: 2 * sim.Second, Pos: geom.Point{X: 10, Y: 0}}, // pause
+		{At: 3 * sim.Second, Pos: geom.Point{X: 10, Y: 20}},
+	}
+	cursor := 0
+	cases := []struct {
+		t    sim.Time
+		want geom.Point
+	}{
+		{0, geom.Point{X: 0, Y: 0}},
+		{sim.Second / 2, geom.Point{X: 5, Y: 0}},
+		{sim.Second, geom.Point{X: 10, Y: 0}},
+		{1500 * sim.Millisecond, geom.Point{X: 10, Y: 0}},
+		{2500 * sim.Millisecond, geom.Point{X: 10, Y: 10}},
+		{5 * sim.Second, geom.Point{X: 10, Y: 20}},
+	}
+	for _, c := range cases {
+		if got := p.At(c.t, &cursor); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Rewind: a smaller t must still resolve correctly.
+	if got := p.At(sim.Second/2, &cursor); got != (geom.Point{X: 5, Y: 0}) {
+		t.Fatalf("rewound At = %v", got)
+	}
+}
+
+// TestMoverDrivesTable runs a mover on a bare simulator and checks the
+// dynamic table tracks the plan: positions match the interpolated paths
+// at the end, and the table equals a from-scratch build over them.
+func TestMoverDrivesTable(t *testing.T) {
+	params := radio.MustDefault80211Params(40, 2.2)
+	pts := field(25, 200, 10)
+	dyn := channel.NewDynamicLinkTable(pts, params)
+	pl := Draw(rwpConfig(), pts, rng.New(3))
+	m := NewMover(&pl, dyn, 50*sim.Millisecond)
+	s := sim.New()
+	base := 500 * sim.Millisecond
+	s.At(base, func() { m.Arm(s, base, sim.Second) })
+	s.Run()
+	if s.Now() != base+sim.Second {
+		t.Fatalf("last tick at %v, want %v", s.Now(), base+sim.Second)
+	}
+	cursor := 0
+	for i, p := range pl.Paths {
+		cursor = 0
+		want := p.At(sim.Second, &cursor)
+		if got := dyn.Position(i); got != want {
+			t.Fatalf("node %d at %v, want %v", i, got, want)
+		}
+	}
+	// Re-arming is a no-op.
+	m.Arm(s, s.Now(), sim.Second)
+	before := s.Pending()
+	if before != 0 {
+		t.Fatalf("re-arm scheduled %d events", before)
+	}
+}
+
+// TestSaveLoadRoundTrip pins the trace format.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pts := field(12, 200, 11)
+	pl := Draw(rwpConfig(), pts, rng.New(4))
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&pl, got) {
+		t.Fatal("plan changed across Save/Load")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"field":1,"paths":[[]]}`)); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"field":1,"paths":[[{"at_ns":5,"pos":{"X":0,"Y":0}}]]}`)); err == nil {
+		t.Fatal("path not starting at t=0 accepted")
+	}
+}
