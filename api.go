@@ -92,6 +92,22 @@ type (
 	Robustness = metrics.Robustness
 )
 
+// Region-parallel execution engine (see Scenario.Engine and DESIGN.md §15):
+// the field is partitioned into grid regions that execute concurrently
+// under a conservative protocol, bit-identical to the serial engine.
+type (
+	// ParallelOptions groups the execution-engine knobs of a Scenario:
+	// worker count and region grid. The zero value is the serial engine.
+	ParallelOptions = experiment.ParallelOptions
+	// SimStats reports one scheduler's throughput counters; for a parallel
+	// session, Session.Stats merges them over the regions.
+	SimStats = sim.Stats
+	// RegionStats is one region's share of a parallel run: its scheduler
+	// counters plus the border-protocol counters (edges executed, messages
+	// sent, horizon stalls).
+	RegionStats = sim.RegionStats
+)
+
 // Fault-injection layer: deterministic node crashes, link degradation and
 // bursty channel loss, injected as ordinary simulator events (see
 // Scenario.Faults and the FaultSweep driver).
@@ -256,6 +272,11 @@ func Grid() *Topology { return topology.PaperGrid() }
 func RandomTopology(n int, side, txRange float64, seed uint64) (*Topology, error) {
 	return topology.RandomConnected(n, side, txRange, rng.New(seed), 100)
 }
+
+// ScaledField returns the field edge length that keeps the paper's node
+// density for n nodes — the deployment scaling used by the 10k–100k-node
+// parallel-engine benchmarks (see cmd/topogen -side 0).
+func ScaledField(n int) float64 { return topology.ScaledField(n) }
 
 // PaperRandomTopology returns the paper's random deployment: 200 nodes,
 // 200x200 m, 40 m range.

@@ -3,7 +3,13 @@
 //
 //	topogen -kind grid > grid.json
 //	topogen -kind random -nodes 200 -seed 7 > field.json
+//	topogen -kind random -nodes 10000 -side 0 > city.json   # density-scaled field
 //	topogen -check field.json        # validate + print stats
+//
+// The scaling mode (-side 0) derives the field edge from the node count so
+// the paper's density is preserved: 10k–100k-node deployments for the
+// parallel-engine benchmarks generate in O(n·density) through the
+// grid-indexed adjacency build — no quadratic pass anywhere.
 //
 // It can also record a deterministic motion trace for the deployment —
 // the waypoint plan a mobile Scenario with the same seed would draw — so
@@ -32,7 +38,7 @@ func main() {
 	var (
 		kind    = flag.String("kind", "grid", "grid or random")
 		nodes   = flag.Int("nodes", 200, "node count (random)")
-		side    = flag.Float64("side", 200, "field edge length (m)")
+		side    = flag.Float64("side", 200, "field edge length (m); 0 scales the field to keep the paper's density for -nodes")
 		txRange = flag.Float64("range", 40, "transmission range (m)")
 		seed    = flag.Uint64("seed", 1, "placement seed (random); also drives the motion plan")
 		check   = flag.String("check", "", "validate an existing file instead of generating")
@@ -74,6 +80,9 @@ func run(kind string, nodes int, side, txRange float64, seed uint64, check,
 		return nil
 	}
 
+	if side <= 0 {
+		side = topology.ScaledField(nodes)
+	}
 	var topo *topology.Topology
 	var err error
 	switch kind {

@@ -1,0 +1,114 @@
+package channel
+
+import (
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+)
+
+// This file wires the channel into the region-parallel engine. Each
+// region gets its own Channel shard over the shared link table; the
+// shards share one radios array and one per-node state array (a node's
+// radio state is touched only by its own region's worker, so the sharing
+// is plain slice aliasing, not synchronization). A transmission's fan is
+// split at the region border: links to local nodes take the usual batched
+// event path on the region simulator, links to remote nodes become
+// engine messages that the receiving shard executes through ExecBorder.
+
+// borderFrame carries one decodable frame across a region border: a deep
+// copy owned by the message (the sender's pooled original is recycled on
+// its own schedule) plus the receiver-side arrival record between the
+// start and end edges.
+type borderFrame struct {
+	pkt *packet.Packet
+	arr *arrival
+}
+
+// NewShards builds one channel shard per region of the plan, all over the
+// same link table and sharing per-node radio state. pools supplies the
+// per-region packet factory (one Factory per region — factories are
+// single-goroutine). The realism knobs that draw from shared random
+// streams (shadowing, loss) are incompatible with regional execution and
+// panic here; the experiment layer validates them away first.
+func NewShards(e *sim.Engine, plan *RegionPlan, links *LinkTable, cfg Config, pools []*packet.Factory) []*Channel {
+	if cfg.ShadowingSigmaDB > 0 || cfg.Loss != nil {
+		panic("channel: shadowing/loss models are serial-only")
+	}
+	if e.Regions() != plan.NumRegions() || len(pools) != plan.NumRegions() {
+		panic("channel: engine/plan/pool region count mismatch")
+	}
+	radios := make([]Radio, links.n)
+	state := make([]nodeState, links.n)
+	shards := make([]*Channel, plan.NumRegions())
+	for r := range shards {
+		scfg := cfg
+		scfg.Pool = pools[r]
+		c := &Channel{
+			sim:      e.Region(r),
+			links:    links,
+			cfg:      scfg,
+			radios:   radios,
+			state:    state,
+			engine:   e,
+			region:   int32(r),
+			regionOf: plan.RegionOf,
+		}
+		shards[r] = c
+		e.SetBorderHandler(r, c.ExecBorder)
+	}
+	return shards
+}
+
+// ExecBorder executes one incoming cross-region edge on this shard. The
+// engine calls it on the region's worker with the region clock already at
+// the edge's timestamp, in deterministic border order.
+func (c *Channel) ExecBorder(m sim.BorderMsg, end bool) {
+	to := int(m.To)
+	if m.Kind == sim.BorderCarrier {
+		if end {
+			c.signalEnd(to)
+		} else {
+			c.signalStart(to)
+		}
+		return
+	}
+	bf := m.Data.(*borderFrame)
+	if !end {
+		a := c.newArrival(bf.pkt)
+		bf.arr = a
+		// Same intra-node order as the fused local callback: carrier edge
+		// first, then the arrival edge.
+		c.signalStart(to)
+		c.startArrival(to, a)
+	} else {
+		a := bf.arr
+		bf.arr = nil
+		c.signalEnd(to)
+		// endArrival's pool Release is a no-op on the non-pooled copy; the
+		// frame is garbage-collected once the receiver is done with it.
+		c.endArrival(to, a)
+	}
+}
+
+// sendBorder emits the cross-region edges of one transmission link. The
+// key threads the sender's execution order (transmission start time,
+// region, per-region transmission counter, fan index) to the receiver, so
+// border events sort deterministically however the workers interleave.
+// decodable mirrors the serial fan's per-link decision: true gets the
+// frame, false is carrier-sense only.
+func (c *Channel) sendBorder(l link, p *packet.Packet, now, dur sim.Time, fan int, decodable bool) {
+	m := sim.BorderMsg{
+		To:   int32(l.to),
+		Kind: sim.BorderCarrier,
+		T0:   now + l.delay,
+		T1:   now + l.delay + dur,
+		Key:  sim.BorderKey{PAt: now, PRegion: c.region, PSeq: c.uid, Fan: int32(fan)},
+	}
+	if decodable {
+		cp := p.Clone(p.From)
+		cp.UID = p.UID
+		m.Kind = sim.BorderFrame
+		m.Data = &borderFrame{pkt: cp}
+	}
+	c.engine.Send(int(c.regionOf[l.to]), m)
+	c.engine.NoteSent(int(c.region))
+}

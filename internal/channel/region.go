@@ -1,0 +1,166 @@
+package channel
+
+import (
+	"fmt"
+	"sort"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/sim"
+)
+
+// RegionPlan partitions one topology into spatial regions for the
+// parallel engine. Regions start as the cells of a grid×grid overlay on
+// the field; cells joined by a zero-delay link (nodes closer than one
+// light-nanosecond, whose propagation delay truncates to 0) are merged,
+// because the conservative protocol needs every cross-region edge to
+// carry strictly positive lookahead. The plan is a pure function of
+// (link table, positions, side, grid), so every run over the same inputs
+// partitions identically.
+type RegionPlan struct {
+	Grid     int     // requested grid (regions before merging)
+	N        int     // node count
+	RegionOf []int32 // node -> region index
+	Regions  [][]int // region -> node ids, ascending
+	// Neighbors lists, per region, the regions it shares at least one
+	// carrier-sense link with (sorted, self excluded). Only these regions
+	// constrain each other's horizons.
+	Neighbors [][]int
+	// Lookahead is the minimum propagation delay over all cross-region
+	// links — the engine's delta. sim.Never when no link crosses a border
+	// (fully independent regions).
+	Lookahead sim.Time
+	// MergedCells counts grid cells folded into a neighbor by the
+	// zero-delay merge (0 on ordinary topologies).
+	MergedCells int
+}
+
+// PlanRegions partitions the field [0,side]² into a grid×grid overlay and
+// derives the region structure from the actual link table. Every node
+// must lie inside the field. A grid of 1 (or a non-positive side) yields
+// the trivial single-region plan.
+func PlanRegions(links *LinkTable, positions []geom.Point, side float64, grid int) (*RegionPlan, error) {
+	n := links.N()
+	if len(positions) != n {
+		return nil, fmt.Errorf("channel: plan over %d positions but %d-node link table", len(positions), n)
+	}
+	if grid < 1 {
+		grid = 1
+	}
+	if side <= 0 {
+		grid = 1
+	}
+	p := &RegionPlan{Grid: grid, N: n, RegionOf: make([]int32, n)}
+	if grid == 1 {
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		p.Regions = [][]int{nodes}
+		p.Neighbors = [][]int{nil}
+		p.Lookahead = sim.Never
+		return p, nil
+	}
+
+	// Cell assignment by position; the top edge clamps into the last row.
+	cellOf := make([]int32, n)
+	for i, pt := range positions {
+		cx := int(pt.X / side * float64(grid))
+		cy := int(pt.Y / side * float64(grid))
+		if cx < 0 || cy < 0 || pt.X > side || pt.Y > side {
+			return nil, fmt.Errorf("channel: node %d at (%g,%g) outside the %g-side field", i, pt.X, pt.Y, side)
+		}
+		if cx >= grid {
+			cx = grid - 1
+		}
+		if cy >= grid {
+			cy = grid - 1
+		}
+		cellOf[i] = int32(cy*grid + cx)
+	}
+
+	// Union-find over cells: merge cells joined by any zero-delay link, so
+	// the surviving cross-region delays are all >= 1ns. Iterating every
+	// link closes the relation transitively.
+	uf := make([]int32, grid*grid)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for _, l := range links.cs[i] {
+			if l.delay == 0 && cellOf[i] != cellOf[l.to] {
+				a, b := find(cellOf[i]), find(cellOf[l.to])
+				if a != b {
+					// Deterministic union: the smaller cell index wins.
+					if a > b {
+						a, b = b, a
+					}
+					uf[b] = a
+					p.MergedCells++
+				}
+			}
+		}
+	}
+
+	// Dense region labels in root-cell order (deterministic).
+	label := make([]int32, grid*grid)
+	for i := range label {
+		label[i] = -1
+	}
+	nr := int32(0)
+	for c := range uf {
+		if r := find(int32(c)); label[r] == -1 {
+			label[r] = nr
+			nr++
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.RegionOf[i] = label[find(cellOf[i])]
+	}
+	p.Regions = make([][]int, nr)
+	for i := 0; i < n; i++ {
+		r := p.RegionOf[i]
+		p.Regions[r] = append(p.Regions[r], i)
+	}
+
+	// Neighbor sets and the lookahead from the actual cross-region links.
+	adj := make([]map[int]bool, nr)
+	p.Lookahead = sim.Never
+	for i := 0; i < n; i++ {
+		ri := p.RegionOf[i]
+		for _, l := range links.cs[i] {
+			rj := p.RegionOf[l.to]
+			if ri == rj {
+				continue
+			}
+			if l.delay <= 0 {
+				panic("channel: zero-delay cross-region link survived the merge")
+			}
+			if l.delay < p.Lookahead {
+				p.Lookahead = l.delay
+			}
+			if adj[ri] == nil {
+				adj[ri] = make(map[int]bool)
+			}
+			adj[ri][int(rj)] = true
+		}
+	}
+	p.Neighbors = make([][]int, nr)
+	for r, m := range adj {
+		for q := range m {
+			p.Neighbors[r] = append(p.Neighbors[r], q)
+		}
+		sort.Ints(p.Neighbors[r])
+	}
+	return p, nil
+}
+
+// NumRegions returns the region count after merging.
+func (p *RegionPlan) NumRegions() int { return len(p.Regions) }

@@ -1,0 +1,124 @@
+package channel
+
+import (
+	"testing"
+
+	"mtmrp/internal/geom"
+	"mtmrp/internal/radio"
+	"mtmrp/internal/sim"
+)
+
+// planOver builds a RegionPlan for explicit positions under the default
+// 40 m radio on a square field.
+func planOver(t *testing.T, pts []geom.Point, side float64, grid int) *RegionPlan {
+	t.Helper()
+	params := radio.MustDefault80211Params(40, 2.2)
+	links := NewLinkTable(pts, params)
+	p, err := PlanRegions(links, pts, side, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlanRegionsBasic pins the geometric partition: a 2×2 grid over four
+// well-separated clusters yields four regions, every node labeled by its
+// quadrant, neighbor sets symmetric, and a positive finite lookahead from
+// the real cross-region link delays.
+func TestPlanRegionsBasic(t *testing.T) {
+	// One pair of nodes per quadrant of a 200-side field; the pairs sit
+	// near the center so carrier-sense links cross every border.
+	pts := []geom.Point{
+		{X: 80, Y: 80}, {X: 60, Y: 60}, // quadrant 0
+		{X: 120, Y: 80}, {X: 140, Y: 60}, // quadrant 1
+		{X: 80, Y: 120}, {X: 60, Y: 140}, // quadrant 2
+		{X: 120, Y: 120}, {X: 140, Y: 140}, // quadrant 3
+	}
+	p := planOver(t, pts, 200, 2)
+	if p.NumRegions() != 4 || p.MergedCells != 0 {
+		t.Fatalf("regions %d merged %d, want 4 regions, 0 merges", p.NumRegions(), p.MergedCells)
+	}
+	want := []int32{0, 0, 1, 1, 2, 2, 3, 3}
+	for i, r := range p.RegionOf {
+		if r != want[i] {
+			t.Fatalf("node %d in region %d, want %d (%v)", i, r, want[i], p.RegionOf)
+		}
+	}
+	if p.Lookahead <= 0 || p.Lookahead == sim.Never {
+		t.Fatalf("lookahead %v, want positive finite", p.Lookahead)
+	}
+	for r, ns := range p.Neighbors {
+		for _, q := range ns {
+			found := false
+			for _, back := range p.Neighbors[q] {
+				if back == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("region %d lists neighbor %d but not vice versa", r, q)
+			}
+		}
+	}
+}
+
+// TestPlanRegionsZeroDelayMerge pins the union-find merge: two nodes on
+// opposite sides of a cell border but closer than one light-nanosecond
+// (~0.3 m) produce a zero-delay link, and the two cells must fold into one
+// region — the conservative protocol cannot admit a zero-lookahead border.
+func TestPlanRegionsZeroDelayMerge(t *testing.T) {
+	pts := []geom.Point{
+		{X: 99.95, Y: 50}, {X: 100.05, Y: 50}, // 0.1 m apart across x=100
+		{X: 20, Y: 50},                  // deep in the left cells
+		{X: 180, Y: 50},                 // deep in the right cells
+		{X: 60, Y: 50}, {X: 140, Y: 50}, // relays keeping the strip linked
+	}
+	p := planOver(t, pts, 200, 2)
+	if p.MergedCells == 0 {
+		t.Fatal("zero-delay border link did not merge its cells")
+	}
+	if p.RegionOf[0] != p.RegionOf[1] {
+		t.Fatalf("zero-delay pair split across regions %d/%d", p.RegionOf[0], p.RegionOf[1])
+	}
+	// Whatever survived the merge must promise positive lookahead on any
+	// border actually crossed by a link (empty grid cells remain as
+	// isolated regions with no links, which is fine — they never interact).
+	interacting := false
+	for _, ns := range p.Neighbors {
+		if len(ns) > 0 {
+			interacting = true
+		}
+	}
+	if interacting && (p.Lookahead <= 0 || p.Lookahead == sim.Never) {
+		t.Fatalf("lookahead %v with interacting regions", p.Lookahead)
+	}
+}
+
+// TestPlanRegionsSingle pins the trivial plans: grid 1 and non-positive
+// sides yield one region holding every node and an infinite lookahead.
+func TestPlanRegionsSingle(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	for _, tc := range []struct {
+		side float64
+		grid int
+	}{{200, 1}, {0, 4}} {
+		p := planOver(t, pts, tc.side, tc.grid)
+		if p.NumRegions() != 1 || len(p.Regions[0]) != len(pts) {
+			t.Fatalf("side=%g grid=%d: %d regions over %d nodes", tc.side, tc.grid, p.NumRegions(), len(p.Regions[0]))
+		}
+		if p.Lookahead != sim.Never {
+			t.Fatalf("single region lookahead %v, want Never", p.Lookahead)
+		}
+	}
+}
+
+// TestPlanRegionsOutOfField pins the input validation: a node outside the
+// declared field is an error, not a silent clamp into a wrong region.
+func TestPlanRegionsOutOfField(t *testing.T) {
+	params := radio.MustDefault80211Params(40, 2.2)
+	pts := []geom.Point{{X: 50, Y: 50}, {X: 250, Y: 50}}
+	links := NewLinkTable(pts, params)
+	if _, err := PlanRegions(links, pts, 200, 2); err == nil {
+		t.Fatal("out-of-field node accepted")
+	}
+}

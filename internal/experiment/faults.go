@@ -24,10 +24,10 @@ type FaultMetric int
 
 // Fault-sweep metric identifiers.
 const (
-	FaultMeanPDR FaultMetric = iota // mean per-receiver packet delivery ratio
-	FaultMinPDR                     // worst receiver's delivery ratio
-	FaultRepairs                    // closed delivery gaps per run
-	FaultRepairMs                   // mean time-to-repair, milliseconds
+	FaultMeanPDR  FaultMetric = iota // mean per-receiver packet delivery ratio
+	FaultMinPDR                      // worst receiver's delivery ratio
+	FaultRepairs                     // closed delivery gaps per run
+	FaultRepairMs                    // mean time-to-repair, milliseconds
 	NumFaultMetrics
 )
 

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/topology"
+)
+
+// bench10k lazily builds the shared 10k-node deployment: a density-scaled
+// random field (the paper's degree at 50x the paper's size) plus its link
+// table, reused by every scale benchmark in the package.
+var bench10k struct {
+	once  sync.Once
+	topo  *topology.Topology
+	links *channel.LinkTable
+	rcv   []int
+	err   error
+}
+
+func bench10kSetup(b *testing.B) (*topology.Topology, *channel.LinkTable, []int) {
+	bench10k.once.Do(func() {
+		n := 10000
+		topo, err := topology.RandomConnected(n, topology.ScaledField(n), 40, rng.New(7), 20)
+		if err != nil {
+			bench10k.err = err
+			return
+		}
+		bench10k.topo = topo
+		bench10k.links = LinkTableFor(topo)
+		bench10k.rcv, bench10k.err = topo.PickReceivers(0, 50, rng.New(8))
+	})
+	if bench10k.err != nil {
+		b.Fatal(bench10k.err)
+	}
+	return bench10k.topo, bench10k.links, bench10k.rcv
+}
+
+// benchParallelRun10k times the data phase of a single 10k-node session:
+// session construction, HELLO and discovery run untimed (they are the
+// same for every engine), then the paced-free data phase — the workload
+// the parallel engine's >=3x-at-8-workers target is stated against —
+// runs on the clock. workers 0 selects the serial ladder engine.
+func benchParallelRun10k(b *testing.B, workers int) {
+	topo, links, rcv := bench10kSetup(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sc := Scenario{
+			Topo: topo, Source: 0, Receivers: rcv, Protocol: MTMRP,
+			Seed: 7, Links: links,
+			Traffic: TrafficOptions{DataPackets: 30},
+			Engine:  ParallelOptions{Workers: workers},
+		}
+		s, err := NewSession(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunHello()
+		s.RunDiscovery(0)
+		b.StartTimer()
+		if _, err := s.RunData(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelRun10k compares the serial ladder engine against the
+// region-parallel conservative engine on a single 10k-node data-phase run
+// (cmd/benchreport records the 8-worker ratio in BENCH_pr7.json).
+func BenchmarkParallelRun10k(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchParallelRun10k(b, 0) })
+	b.Run("workers=2", func(b *testing.B) { benchParallelRun10k(b, 2) })
+	b.Run("workers=8", func(b *testing.B) { benchParallelRun10k(b, 8) })
+}

@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/metrics"
+	"mtmrp/internal/network"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+// sessionRun drives one complete session through the phased API and
+// returns everything the differential comparison pins: the full Result,
+// the Robustness view, and the exact number of events executed.
+func sessionRun(t *testing.T, sc Scenario) (metrics.Result, metrics.Robustness, uint64) {
+	t.Helper()
+	s, err := NewSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	s.RunDiscovery(0)
+	if _, err := s.RunData(0); err != nil {
+		t.Fatal(err)
+	}
+	return s.Metrics(), s.Robustness(), s.Events()
+}
+
+// TestParallelMatchesSerial is the engine's bit-identity pin: the same
+// scenario run serially and under the region-parallel engine — for every
+// worker count and region grid — must produce the exact same Result
+// (forwarder list order included), the same Robustness view and the same
+// number of events executed. The conservative protocol never reorders
+// event execution within a causal chain; this test is the proof.
+func TestParallelMatchesSerial(t *testing.T) {
+	randTopo, err := topology.RandomConnected(80, 200, 50, rng.New(11).Derive("topo"), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := []struct {
+		name string
+		topo *topology.Topology
+	}{
+		{"grid", topology.PaperGrid()},
+		{"random", randTopo},
+	}
+	for _, tp := range topos {
+		for _, proto := range []Protocol{MTMRP, ODMRP} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				rcv, err := tp.topo.PickReceivers(0, 12, rng.New(seed).Derive("receivers"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc := Scenario{
+					Topo:      tp.topo,
+					Source:    0,
+					Receivers: rcv,
+					Protocol:  proto,
+					Seed:      seed,
+					Traffic:   TrafficOptions{DataPackets: 3},
+					Links:     LinkTableFor(tp.topo),
+				}
+				wantRes, wantRob, wantEv := sessionRun(t, sc)
+				for _, workers := range []int{1, 2, 8} {
+					for _, grid := range []int{1, 2, 4} {
+						scp := sc
+						scp.Engine = ParallelOptions{Workers: workers, RegionGrid: grid}
+						gotRes, gotRob, gotEv := sessionRun(t, scp)
+						if !reflect.DeepEqual(gotRes, wantRes) {
+							t.Errorf("%s/%v seed %d workers %d grid %d: Result diverged\nserial:   %+v\nparallel: %+v",
+								tp.name, proto, seed, workers, grid, wantRes, gotRes)
+						}
+						if !reflect.DeepEqual(gotRob, wantRob) {
+							t.Errorf("%s/%v seed %d workers %d grid %d: Robustness diverged\nserial:   %+v\nparallel: %+v",
+								tp.name, proto, seed, workers, grid, wantRob, gotRob)
+						}
+						if gotEv != wantEv {
+							t.Errorf("%s/%v seed %d workers %d grid %d: events %d, serial %d",
+								tp.name, proto, seed, workers, grid, gotEv, wantEv)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPacedMatchesSerial pins the paced data phase — sends
+// scheduled on the source's region queue, periodic JoinQuery refreshes
+// interleaved — against the serial run.
+func TestParallelPacedMatchesSerial(t *testing.T) {
+	topo := topology.PaperGrid()
+	rcv, err := topo.PickReceivers(0, 10, rng.New(5).Derive("receivers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Topo: topo, Source: 0, Receivers: rcv, Protocol: MTMRP, Seed: 5,
+		Traffic: TrafficOptions{
+			DataPackets:     5,
+			Interval:        200 * sim.Millisecond,
+			RefreshInterval: 450 * sim.Millisecond,
+		},
+	}
+	wantRes, wantRob, wantEv := sessionRun(t, sc)
+	scp := sc
+	scp.Engine = ParallelOptions{Workers: 4, RegionGrid: 3}
+	gotRes, gotRob, gotEv := sessionRun(t, scp)
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Errorf("paced Result diverged\nserial:   %+v\nparallel: %+v", wantRes, gotRes)
+	}
+	if !reflect.DeepEqual(gotRob, wantRob) {
+		t.Errorf("paced Robustness diverged\nserial:   %+v\nparallel: %+v", wantRob, gotRob)
+	}
+	if gotEv != wantEv {
+		t.Errorf("paced events %d, serial %d", gotEv, wantEv)
+	}
+}
+
+// TestParallelGates pins the serial-only rejections: the combinations the
+// engine cannot shard must fail loudly at validation, not misbehave.
+func TestParallelGates(t *testing.T) {
+	topo := topology.PaperGrid()
+	base := Scenario{
+		Topo: topo, Source: 0, Receivers: []int{5}, Protocol: MTMRP, Seed: 1,
+		Engine: ParallelOptions{Workers: 2},
+	}
+
+	sc := base
+	sc.Radio.MAC = network.MACIdeal
+	if _, err := NewSession(sc); err != ErrParallelMAC {
+		t.Errorf("ideal MAC: want ErrParallelMAC, got %v", err)
+	}
+	sc = base
+	sc.ShadowingSigmaDB = 4
+	if _, err := NewSession(sc); err != ErrParallelSerialOnly {
+		t.Errorf("shadowing: want ErrParallelSerialOnly, got %v", err)
+	}
+	sc = base
+	lc := channel.DefaultLossConfig()
+	sc.Faults.Loss = &lc
+	if _, err := NewSession(sc); err != ErrParallelSerialOnly {
+		t.Errorf("loss: want ErrParallelSerialOnly, got %v", err)
+	}
+
+	// A parallel session refuses Reset; the pool must route around it.
+	s, err := NewSession(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(base); err != ErrParallelReset {
+		t.Errorf("Reset: want ErrParallelReset, got %v", err)
+	}
+	pool := NewSessionPool()
+	psc := base
+	psc.Traffic.DataPackets = 1
+	if _, err := pool.Run(psc); err != nil {
+		t.Errorf("pooled parallel run: %v", err)
+	}
+	if _, err := pool.Run(psc); err != nil {
+		t.Errorf("second pooled parallel run: %v", err)
+	}
+}

@@ -52,7 +52,9 @@ func NewSessionPool() *SessionPool {
 // drivers extract their metrics before the next round, which satisfies
 // this by construction.
 func (p *SessionPool) Run(sc Scenario) (*Outcome, error) {
-	if sc.TraceWriter != nil || sc.Proto != nil || sc.Core != nil || sc.Topo == nil {
+	// Parallel sessions are also unpooled: a region plan is baked into
+	// every layer at construction and Reset cannot rewind it.
+	if sc.TraceWriter != nil || sc.Proto != nil || sc.Core != nil || sc.Topo == nil || sc.Engine.active() {
 		return Run(sc)
 	}
 	// Key off the normalized shape so the grouped and flat option

@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"mtmrp/internal/bitset"
+	"mtmrp/internal/network"
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+)
+
+// Region-parallel collection. Under the parallel engine the observation
+// hooks fire concurrently from every region's worker, so the collector
+// splits its mutable state along the same region boundary the engine
+// uses:
+//
+//   - Transmit-side counters become a per-region, time-ordered log of
+//     transmissions. fold replays the logs merged in virtual-time order,
+//     which rebuilds the order-sensitive serial state — the forwarder
+//     list, and (through EachTransmit) the energy meter's float
+//     accumulation order — exactly as the serial run produced it.
+//   - Receive-side sets (rxData, rxPkt, perPkt, bytesRx) shard per
+//     region: a node's bits are only ever touched by its own region's
+//     worker, and fold takes exact unions/sums.
+//   - Per-packet registration stays centralized but single-writer (only
+//     the source's region registers) over fixed-capacity buffers with an
+//     atomic count: readers in other regions acquire the count and index
+//     below it, so no slice header is ever written concurrently.
+//
+// firstFrom and rxAt stay shared: they are indexed per node (per
+// packet×node), and distinct slice elements written by distinct workers
+// are distinct memory locations under the Go memory model.
+type colShard struct {
+	txLog   []txRec
+	bytesRx uint64
+	rxData  bitset.Set
+	rxPkt   bitset.Set
+	perPkt  []int
+}
+
+// txRec is one logged transmission. Logs are naturally time-ordered:
+// each region's clock is monotone across its executions.
+type txRec struct {
+	at   sim.Time
+	from packet.NodeID
+	typ  packet.Type
+	size int32
+}
+
+// SetParallel switches the collector into region-sharded mode. maxPkts
+// caps the number of distinct source data packets the session may send
+// (the per-packet buffers are fixed at that capacity so concurrent
+// readers never race a growing slice); exceeding it panics with a clear
+// message rather than corrupting the run. Call after NewCollector and
+// before any simulation; Reset keeps the mode.
+func (c *Collector) SetParallel(regionOf []int32, regions, maxPkts int) {
+	if c.prevOnAir != nil || c.prevOnRecv != nil {
+		panic("metrics: parallel collector cannot chain other hooks")
+	}
+	if maxPkts < 1 {
+		maxPkts = 1
+	}
+	c.regionOf = regionOf
+	c.maxPkts = maxPkts
+	c.shards = make([]colShard, regions)
+	n := len(c.net.Nodes)
+	c.pkts = make([]packet.DataKey, maxPkts)
+	c.sendAt = make([]sim.Time, maxPkts)
+	c.rxAt = make([]sim.Time, maxPkts*n)
+	for r := range c.shards {
+		c.shards[r].perPkt = make([]int, maxPkts)
+	}
+	c.npkts.Store(0)
+	c.perPkt = c.perPkt[:0]
+}
+
+// ResetParallel rewinds the sharded state (the serial fields are rebuilt
+// from scratch by fold, so only the shard side needs clearing).
+func (c *Collector) resetParallel() {
+	for r := range c.shards {
+		sh := &c.shards[r]
+		sh.txLog = sh.txLog[:0]
+		sh.bytesRx = 0
+		sh.rxData.Reset()
+		sh.rxPkt.Reset()
+		for i := range sh.perPkt {
+			sh.perPkt[i] = 0
+		}
+	}
+	c.npkts.Store(0)
+}
+
+func (c *Collector) onTransmitParallel(from *network.Node, p *packet.Packet) {
+	sh := &c.shards[c.regionOf[from.ID]]
+	sh.txLog = append(sh.txLog, txRec{at: from.Now(), from: from.ID, typ: p.Type, size: int32(p.Size)})
+	if (p.Type == packet.TData || p.Type == packet.TGeoData) && from.ID == c.source {
+		c.registerPacketParallel(from, p)
+	}
+}
+
+// registerPacketParallel is the single-writer registration path: only the
+// source's region worker reaches it, so plain reads of its own prior
+// writes are safe; the atomic count publishes them to the other regions.
+func (c *Collector) registerPacketParallel(from *network.Node, p *packet.Packet) {
+	key := dataKey(p)
+	n := int(c.npkts.Load())
+	for i := n - 1; i >= 0; i-- {
+		if c.pkts[i] == key {
+			return
+		}
+	}
+	if n >= c.maxPkts {
+		panic(fmt.Sprintf("metrics: parallel session exceeded its %d-packet budget (raise Traffic.DataPackets before NewSession)", c.maxPkts))
+	}
+	c.pkts[n] = key
+	c.sendAt[n] = from.Now()
+	c.npkts.Store(int32(n + 1))
+}
+
+func (c *Collector) onDeliverParallel(to *network.Node, p *packet.Packet) {
+	sh := &c.shards[c.regionOf[to.ID]]
+	sh.bytesRx += uint64(p.Size)
+	if !deliverCounts(to, p) {
+		return
+	}
+	if !sh.rxData.Test(int(to.ID)) {
+		sh.rxData.Set(int(to.ID))
+		c.firstFrom[to.ID] = p.From
+	}
+	key := dataKey(p)
+	idx := -1
+	m := int(c.npkts.Load())
+	for i := m - 1; i >= 0; i-- {
+		if c.pkts[i] == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	bit := idx*len(c.net.Nodes) + int(to.ID)
+	if sh.rxPkt.Test(bit) {
+		return
+	}
+	sh.rxPkt.Set(bit)
+	c.rxAt[bit] = to.Now()
+	if to.ID != c.source && c.receivers.Test(int(to.ID)) {
+		sh.perPkt[idx]++
+	}
+}
+
+// fold rebuilds the serial-view fields from the region shards so the
+// ordinary Snapshot/Robustness code paths read exactly what a serial run
+// would have accumulated. Safe to call repeatedly (it recomputes from
+// scratch) but only between engine runs — never while workers are live.
+// Serial collectors fold to a no-op.
+func (c *Collector) fold() {
+	if c.shards == nil {
+		return
+	}
+	// Transmit side: replay the per-region logs merged by (at, region).
+	// Within a region the log is execution order; across regions the
+	// region index breaks exact-timestamp ties deterministically.
+	c.txByType = [packet.NumTypes]uint64{}
+	c.bytesTx = 0
+	c.controlTx = 0
+	c.dataTxTotal = 0
+	c.dataTx = c.dataTx[:0]
+	c.dataTxSet.Reset()
+	c.eachTransmit(func(rec txRec) {
+		c.txByType[rec.typ]++
+		c.bytesTx += uint64(rec.size)
+		switch rec.typ {
+		case packet.TData, packet.TGeoData:
+			c.dataTxTotal++
+			if !c.dataTxSet.Test(int(rec.from)) {
+				c.dataTxSet.Set(int(rec.from))
+				c.dataTx = append(c.dataTx, rec.from)
+			}
+		default:
+			c.controlTx++
+		}
+	})
+
+	// Receive side: exact unions and sums over the shards.
+	m := int(c.npkts.Load())
+	c.bytesRx = 0
+	c.rxData.Reset()
+	c.rxPkt.Reset()
+	c.perPkt = c.perPkt[:0]
+	for i := 0; i < m; i++ {
+		c.perPkt = append(c.perPkt, 0)
+	}
+	for r := range c.shards {
+		sh := &c.shards[r]
+		c.bytesRx += sh.bytesRx
+		sh.rxData.Range(func(i int) { c.rxData.Set(i) })
+		sh.rxPkt.Range(func(i int) { c.rxPkt.Set(i) })
+		for i := 0; i < m; i++ {
+			c.perPkt[i] += sh.perPkt[i]
+		}
+	}
+	// Present the registered prefix of the fixed buffers through the
+	// fields the serial code indexes by len().
+	c.pkts = c.pkts[:c.maxPkts][:m]
+	c.sendAt = c.sendAt[:c.maxPkts][:m]
+}
+
+// eachTransmit streams every logged transmission in merged virtual-time
+// order (ties broken by region index) — the deterministic replay order
+// fold and the energy accounting share.
+func (c *Collector) eachTransmit(fn func(txRec)) {
+	idx := make([]int, len(c.shards))
+	for {
+		best := -1
+		var bestAt sim.Time
+		for r := range c.shards {
+			log := c.shards[r].txLog
+			if idx[r] >= len(log) {
+				continue
+			}
+			if at := log[idx[r]].at; best < 0 || at < bestAt {
+				best, bestAt = r, at
+			}
+		}
+		if best < 0 {
+			return
+		}
+		fn(c.shards[best].txLog[idx[best]])
+		idx[best]++
+	}
+}
+
+// EachTransmit replays the session's transmissions — sender and frame
+// size, in the deterministic merged order — for consumers that accumulate
+// order-sensitive state outside the collector (the energy meter's float
+// sums). Parallel sessions only; panics on a serial collector, which does
+// not keep a transmission log.
+func (c *Collector) EachTransmit(fn func(from packet.NodeID, size int)) {
+	if c.shards == nil {
+		panic("metrics: EachTransmit requires a parallel collector")
+	}
+	c.eachTransmit(func(rec txRec) { fn(rec.from, int(rec.size)) })
+}
+
+// unused keeps sort imported if future merge strategies need it.
+var _ = sort.Ints

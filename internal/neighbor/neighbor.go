@@ -4,13 +4,21 @@
 // overhearing marks ("covered receiver", "known forwarder") that MTMRP's
 // RelayProfit and path handover scheme are built on.
 //
-// Node ids are dense indices, so the table is a flat slice of Entry records
-// indexed by id, and the per-session marks are word-packed bitsets keyed by
-// a small session registry — no maps anywhere on the HELLO/JoinQuery hot
-// path, and the whole structure resets in place for session reuse.
+// A node only ever hears its one-hop neighborhood (~25 nodes at the
+// paper's density), so the table is sparse: entries live in fixed-size
+// slabs (pointer-stable — a *Entry handed out never moves), an
+// open-addressing index maps node id to slot, and a sorted slot list
+// preserves the ascending-id iteration order the dense layout had. The
+// per-session marks are word-packed bitsets keyed by a small session
+// registry. Storage scales with the neighborhood, not the network — the
+// old dense-by-id layout cost O(n) per node (O(n²) per deployment), which
+// at the 10k–100k-node scales of the parallel engine dominated session
+// construction. Everything resets in place for session reuse.
 package neighbor
 
 import (
+	"sort"
+
 	"mtmrp/internal/bitset"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/sim"
@@ -56,19 +64,33 @@ func (e *Entry) Forwarder(key packet.FloodKey) bool {
 	return false
 }
 
-// Table is a node's one-hop neighbor table. Entries live in a flat slice
-// indexed by NodeID; the per-session covered/forwarder marks live in
+// slabBits sizes the entry slabs: 64 records ≈ two neighborhoods at the
+// paper's density, so most tables stay within one slab.
+const slabBits = 6
+
+// Table is a node's one-hop neighbor table. Entries live in fixed slabs in
+// insertion order (stable addresses), reached through an id index and a
+// slot list sorted by id; the per-session covered/forwarder marks live in
 // bitsets shared across entries, keyed by a small registry of session keys
 // (a handful per run, scanned linearly).
 type Table struct {
-	entries []Entry
-	n       int      // entries currently present
+	slabs  []*[1 << slabBits]Entry
+	nslots int     // slots handed out; slot s lives at slabs[s>>slabBits][s&mask]
+	order  []int32 // slots sorted by entry id — ascending-id iteration
+	idx    idmap   // node id -> slot
+	n      int     // entries currently present
+
 	expiry  sim.Time // entries older than this are recycled; 0 = never
 	expiry0 sim.Time // the NewTable value, restored by Reset
 
 	sessions  []packet.FloodKey
 	covered   []bitset.Set // covered[slot] bit id — covered receiver marks
 	forwarder []bitset.Set // forwarder[slot] bit id — known-forwarder marks
+}
+
+// at returns the entry in storage slot s.
+func (t *Table) at(s int32) *Entry {
+	return &t.slabs[s>>slabBits][s&(1<<slabBits-1)]
 }
 
 // NewTable returns an empty table. Entries not refreshed within expiry are
@@ -78,29 +100,30 @@ func NewTable(expiry sim.Time) *Table {
 	return &Table{expiry: expiry, expiry0: expiry}
 }
 
-// Grow pre-sizes the entry array for ids in [0, n), so no reallocation —
-// which would invalidate outstanding *Entry pointers — happens during the
-// simulation. Protocols call it at attach time with the network size.
-func (t *Table) Grow(n int) {
-	for len(t.entries) < n {
-		t.entries = append(t.entries, Entry{ID: packet.NodeID(len(t.entries)), t: t})
-	}
-}
+// Grow is retained for compatibility: the sparse table sizes itself to
+// the neighborhood on demand, and slab storage keeps outstanding *Entry
+// pointers valid across growth, so pre-sizing to the network size — which
+// made per-node state O(n) and session construction O(n²) — is no longer
+// needed nor useful.
+func (t *Table) Grow(n int) {}
 
 // SetExpiry changes the aging window; used when a protocol switches from
 // discovery (no aging) to steady-state maintenance.
 func (t *Table) SetExpiry(d sim.Time) { t.expiry = d }
 
-// Reset empties the table in place — entries, session registry and mark
-// bitsets — keeping all storage, and restores the NewTable expiry.
+// Reset empties the table in place — entries, id index, session registry
+// and mark bitsets — keeping all storage, and restores the NewTable expiry.
 func (t *Table) Reset() {
-	for i := range t.entries {
-		e := &t.entries[i]
+	for s := int32(0); s < int32(t.nslots); s++ {
+		e := t.at(s)
 		e.LastSeen = 0
 		e.Count = 0
 		e.groups = e.groups[:0]
 		e.present = false
 	}
+	t.nslots = 0
+	t.order = t.order[:0]
+	t.idx.reset()
 	t.n = 0
 	for i := range t.covered {
 		t.covered[i].Reset()
@@ -154,26 +177,31 @@ func (t *Table) Touch(id packet.NodeID, now sim.Time) {
 
 // Entry returns the record for id, or nil.
 func (t *Table) Entry(id packet.NodeID) *Entry {
-	if int(id) < 0 || int(id) >= len(t.entries) || !t.entries[id].present {
+	s, ok := t.idx.get(uint32(id))
+	if !ok {
 		return nil
 	}
-	return &t.entries[id]
+	if e := t.at(s); e.present {
+		return e
+	}
+	return nil
 }
 
 // Len returns the number of entries.
 func (t *Table) Len() int { return t.n }
 
-// Slots returns the size of the entry array; At(i) for i in [0, Slots())
+// Slots returns the number of iteration slots; At(i) for i in [0, Slots())
 // visits every entry in ascending id order. Together they replace map
 // iteration without allocating an id slice.
-func (t *Table) Slots() int { return len(t.entries) }
+func (t *Table) Slots() int { return len(t.order) }
 
-// At returns the entry in slot i, or nil if no neighbor occupies it.
+// At returns the entry in iteration slot i, or nil if the neighbor that
+// occupied it has been recycled.
 func (t *Table) At(i int) *Entry {
-	if !t.entries[i].present {
-		return nil
+	if e := t.at(t.order[i]); e.present {
+		return e
 	}
-	return &t.entries[i]
+	return nil
 }
 
 // Expire recycles entries not seen within the expiry window, clearing
@@ -182,8 +210,8 @@ func (t *Table) Expire(now sim.Time) {
 	if t.expiry == 0 {
 		return
 	}
-	for i := range t.entries {
-		e := &t.entries[i]
+	for _, s := range t.order {
+		e := t.at(s)
 		if e.present && now-e.LastSeen > t.expiry {
 			e.LastSeen = 0
 			e.Count = 0
@@ -212,10 +240,28 @@ func (t *Table) MarkForwarder(id packet.NodeID, key packet.FloodKey, now sim.Tim
 }
 
 func (t *Table) ensure(id packet.NodeID, now sim.Time) *Entry {
-	if int(id) >= len(t.entries) {
-		t.Grow(int(id) + 1)
+	s, ok := t.idx.get(uint32(id))
+	if !ok {
+		// New id: take the next slot (a recycled id reuses its old slot —
+		// the index keeps the binding, as the dense layout did), splice it
+		// into the sorted iteration order, register it.
+		s = int32(t.nslots)
+		t.nslots++
+		if int(s)>>slabBits >= len(t.slabs) {
+			t.slabs = append(t.slabs, new([1 << slabBits]Entry))
+		}
+		e := t.at(s)
+		e.ID = id
+		e.t = t
+		i := sort.Search(len(t.order), func(i int) bool {
+			return t.at(t.order[i]).ID >= id
+		})
+		t.order = append(t.order, 0)
+		copy(t.order[i+1:], t.order[i:])
+		t.order[i] = s
+		t.idx.put(uint32(id), s)
 	}
-	e := &t.entries[id]
+	e := t.at(s)
 	if !e.present {
 		e.present = true
 		t.n++
@@ -248,8 +294,8 @@ func (t *Table) HasForwarder(key packet.FloodKey) bool {
 func (t *Table) RelayProfit(key packet.FloodKey, exclude packet.NodeID) int {
 	s := t.slot(key)
 	n := 0
-	for i := range t.entries {
-		e := &t.entries[i]
+	for _, o := range t.order {
+		e := t.at(o)
 		if !e.present || e.ID == exclude || e.ID == key.Source {
 			continue
 		}
@@ -264,8 +310,8 @@ func (t *Table) RelayProfit(key packet.FloodKey, exclude packet.NodeID) int {
 // group, ignoring coverage — DODMRP's destination-driven signal.
 func (t *Table) MemberCount(g packet.GroupID, exclude packet.NodeID) int {
 	n := 0
-	for i := range t.entries {
-		e := &t.entries[i]
+	for _, o := range t.order {
+		e := t.at(o)
 		if !e.present || e.ID == exclude {
 			continue
 		}
@@ -279,10 +325,75 @@ func (t *Table) MemberCount(g packet.GroupID, exclude packet.NodeID) int {
 // IDs returns the neighbor ids currently in the table in ascending order.
 func (t *Table) IDs() []packet.NodeID {
 	out := make([]packet.NodeID, 0, t.n)
-	for i := range t.entries {
-		if t.entries[i].present {
-			out = append(out, t.entries[i].ID)
+	for _, o := range t.order {
+		if e := t.at(o); e.present {
+			out = append(out, e.ID)
 		}
 	}
 	return out
+}
+
+// idmap is a minimal open-addressing hash index from node id to storage
+// slot: power-of-two capacity, linear probing, no deletion (a recycled
+// neighbor keeps its slot binding, exactly as the dense-by-id layout did).
+type idmap struct {
+	keys []uint32 // id+1; 0 marks an empty cell
+	vals []int32
+	used int
+}
+
+func (m *idmap) get(id uint32) (int32, bool) {
+	if len(m.keys) == 0 {
+		return 0, false
+	}
+	mask := uint32(len(m.keys) - 1)
+	for i := (id * 0x9e3779b9) & mask; ; i = (i + 1) & mask {
+		switch m.keys[i] {
+		case id + 1:
+			return m.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+func (m *idmap) put(id uint32, v int32) {
+	if 4*(m.used+1) > 3*len(m.keys) {
+		m.rehash()
+	}
+	mask := uint32(len(m.keys) - 1)
+	for i := (id * 0x9e3779b9) & mask; ; i = (i + 1) & mask {
+		switch m.keys[i] {
+		case id + 1:
+			m.vals[i] = v
+			return
+		case 0:
+			m.keys[i] = id + 1
+			m.vals[i] = v
+			m.used++
+			return
+		}
+	}
+}
+
+func (m *idmap) rehash() {
+	oldK, oldV := m.keys, m.vals
+	n := 2 * len(oldK)
+	if n == 0 {
+		n = 16
+	}
+	m.keys = make([]uint32, n)
+	m.vals = make([]int32, n)
+	m.used = 0
+	for i, k := range oldK {
+		if k != 0 {
+			m.put(k-1, oldV[i])
+		}
+	}
+}
+
+// reset empties the index keeping its storage.
+func (m *idmap) reset() {
+	clear(m.keys)
+	m.used = 0
 }

@@ -105,7 +105,7 @@ type sessState struct {
 	fg          bool     // forwarding-group flag
 	fgAt        sim.Time // when fg was last set/refreshed (soft state)
 	coveredSelf bool     // this receiver is covered
-	gotData     int  // data packets received
+	gotData     int      // data packets received
 	dataSeq     uint32
 
 	seenData bitset.Set // bit = DataSeq: duplicate suppression

@@ -1,0 +1,631 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the region-partitioned conservative parallel engine.
+//
+// The field is split into spatial regions; each region owns a complete
+// Simulator (ladder queue, event arena, clock) and processes its own events
+// in the usual (at, seq) order. Regions interact only through the wireless
+// medium, and the disc radio model bounds that interaction: an event
+// executed at time t in one region can place events into another region no
+// earlier than t + delta, where delta is the minimum propagation delay of
+// any cross-region link. On top of that sits the MAC reaction floor: an
+// event *received* from another region cannot cause a new transmission —
+// and hence new cross-region events — sooner than the CSMA DIFS wait.
+// Those two constants give each region a lookahead window past its
+// neighbors' clocks, which is what lets the regions run concurrently
+// without ever executing an event out of global timestamp order.
+//
+// Cross-region events travel as BorderMsg values through per-region MPSC
+// inboxes. A region never injects foreign events into its ladder (the
+// ladder's seq counter is a function of local execution order, which must
+// stay a pure function of the region's own event stream); instead each
+// region keeps a second priority queue of border events, ordered by a
+// deterministic key derived from the *sender's* execution state. The
+// region's next event is the minimum of the two queues, with ladder
+// entries winning exact-timestamp ties. Because both queue orders and the
+// merge rule are pure functions of simulation content — never of worker
+// timing — a run is bit-identical for any worker count and region grid.
+//
+// Synchronization protocol, per region r:
+//
+//	NET_r — published timestamp of r's next unexecuted event (or infTime).
+//	EOT_r — published promise: every future message r sends will carry a
+//	        timestamp >= EOT_r. Maintained monotonically as
+//	        EOT_r = max(EOT_r, min(NET_r, bound_r + floor) + delta):
+//	        events already queued in r fire no earlier than NET_r, and
+//	        events r has not yet heard about must come in >= bound_r and
+//	        react through the MAC floor.
+//	bound_r = max(F, min over neighbors q of EOT_q) — r may execute
+//	        events with at strictly below bound_r.
+//
+// F is a global safety floor advanced under a mutex whenever a worker
+// finds nothing executable: any future message anywhere carries a
+// timestamp >= min over all regions of NET + delta, so executing below
+// that is always safe. F both breaks the EOT fixpoint's convergence lag
+// and detects termination (all NET infinite, no messages in flight).
+const infTime = Time(math.MaxInt64)
+
+// BorderKind tags what a BorderMsg carries.
+const (
+	// BorderCarrier is a carrier-sense-only edge pair: the receiver hears
+	// the frame but cannot decode it.
+	BorderCarrier uint8 = iota
+	// BorderFrame is a decodable frame: carrier plus arrival edges.
+	BorderFrame
+)
+
+// BorderKey orders border events deterministically. It captures the
+// sending transmission's position in its region's execution order: the
+// virtual time it was put on the air, the sender's region, the sender
+// region's per-transmission counter, and the index of this edge within
+// the transmission's fan. Sorting same-timestamp border events by this key
+// reproduces the serial engine's scheduling order whenever the parent
+// transmissions are themselves time-ordered (see DESIGN.md §15 for the
+// generic-position argument).
+type BorderKey struct {
+	PAt     Time   // virtual time the sending transmission started
+	PRegion int32  // sender's region
+	PSeq    uint64 // sender-region transmission counter
+	Fan     int32  // edge index within the transmission's fan
+}
+
+func (k BorderKey) less(o BorderKey) bool {
+	if k.PAt != o.PAt {
+		return k.PAt < o.PAt
+	}
+	if k.PRegion != o.PRegion {
+		return k.PRegion < o.PRegion
+	}
+	if k.PSeq != o.PSeq {
+		return k.PSeq < o.PSeq
+	}
+	return k.Fan < o.Fan
+}
+
+// BorderMsg is one cross-region signal: a start/end edge pair at the
+// receiving node. The engine splits it into two timed events (T0 start,
+// T1 end) and hands each to the receiving region's handler in timestamp
+// order. Data is opaque to the engine; the channel layer uses it to carry
+// the decodable frame across the region boundary.
+type BorderMsg struct {
+	To     int32 // receiving node
+	Kind   uint8 // BorderCarrier or BorderFrame
+	T0, T1 Time  // start and end edge timestamps (T0 < T1)
+	Key    BorderKey
+	Data   any
+}
+
+// borderEvent is one half of a BorderMsg in the region's border queue.
+type borderEvent struct {
+	at  Time
+	key BorderKey
+	end bool
+	msg BorderMsg
+}
+
+func (a borderEvent) less(b borderEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key.less(b.key)
+	}
+	return !a.end && b.end
+}
+
+// RegionStats is one region's share of a parallel run, for mtmrsim -stats.
+type RegionStats struct {
+	Sim          Stats  // the region simulator's own counters
+	BorderEvents uint64 // cross-region edges executed by this region
+	BorderSent   uint64 // messages this region pushed to neighbors
+	Stalls       uint64 // times the region hit its horizon with work pending
+}
+
+// engRegion is the engine's per-region state. All fields except the inbox
+// and the published atomics are owned by the worker servicing the region.
+type engRegion struct {
+	id      int
+	sim     *Simulator
+	nbrs    []*engRegion
+	handler func(m BorderMsg, end bool)
+
+	net atomic.Int64 // published next-event time
+	eot atomic.Int64 // published earliest-output promise
+
+	inMu    sync.Mutex
+	inbox   []BorderMsg
+	inCount atomic.Int32
+
+	heap    []borderEvent // border queue (binary min-heap by less)
+	scratch []BorderMsg   // drain buffer, reused
+
+	border     uint64 // border edges executed
+	borderSent uint64
+	stalls     uint64
+}
+
+// EngineConfig wires an Engine.
+type EngineConfig struct {
+	// Regions is the region count (>= 1).
+	Regions int
+	// Neighbors[r] lists the regions that share at least one link with r.
+	Neighbors [][]int
+	// Lookahead is delta: the minimum propagation delay of any
+	// cross-region link. Must be > 0 when any two regions interact.
+	Lookahead Time
+	// Floor is the MAC reaction floor (CSMA DIFS): the minimum virtual
+	// time between an incoming cross-region event and any transmission it
+	// can cause.
+	Floor Time
+}
+
+// Engine runs one simulation split across spatial regions under the
+// conservative protocol described above. Build the per-region simulation
+// structures over Region(r) simulators, install a border handler per
+// region, then call Run to drain every queue.
+type Engine struct {
+	regions []*engRegion
+	delta   Time
+	floor   Time
+
+	inflight atomic.Int64 // messages pushed but not yet reflected in a NET
+	floorT   atomic.Int64 // F: globally safe execution bound
+	done     atomic.Bool
+	executed atomic.Int64 // progress marker for stall detection
+	coMu     sync.Mutex   // serializes stall recovery / termination checks
+
+	wall time.Duration // wall time across all Run calls
+}
+
+// NewEngine builds the engine and its per-region simulators.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Regions < 1 {
+		panic("sim: engine needs at least one region")
+	}
+	if len(cfg.Neighbors) != cfg.Regions {
+		panic("sim: engine neighbor table size mismatch")
+	}
+	e := &Engine{delta: cfg.Lookahead, floor: cfg.Floor}
+	e.regions = make([]*engRegion, cfg.Regions)
+	for r := range e.regions {
+		e.regions[r] = &engRegion{id: r, sim: New()}
+	}
+	interacts := false
+	for r, reg := range e.regions {
+		for _, q := range cfg.Neighbors[r] {
+			if q == r {
+				continue
+			}
+			reg.nbrs = append(reg.nbrs, e.regions[q])
+			interacts = true
+		}
+	}
+	if interacts && cfg.Lookahead <= 0 {
+		panic("sim: interacting regions need a positive lookahead")
+	}
+	return e
+}
+
+// Regions returns the region count.
+func (e *Engine) Regions() int { return len(e.regions) }
+
+// Region returns region r's simulator. All structures for nodes assigned
+// to r must schedule through it.
+func (e *Engine) Region(r int) *Simulator { return e.regions[r].sim }
+
+// SetBorderHandler installs the callback that executes incoming border
+// edges for region r (called on r's worker, in timestamp order, with the
+// region simulator's clock already advanced to the edge's time).
+func (e *Engine) SetBorderHandler(r int, fn func(m BorderMsg, end bool)) {
+	e.regions[r].handler = fn
+}
+
+// Send delivers a border message to region r's inbox. Callable from any
+// region's worker during Run (the sender's EOT promise must cover m.T0)
+// and from the driving goroutine between runs.
+func (e *Engine) Send(r int, m BorderMsg) {
+	if m.T1 <= m.T0 {
+		panic(fmt.Sprintf("sim: border message with non-positive span [%v,%v]", m.T0, m.T1))
+	}
+	e.inflight.Add(1)
+	reg := e.regions[r]
+	reg.inMu.Lock()
+	reg.inbox = append(reg.inbox, m)
+	reg.inMu.Unlock()
+	reg.inCount.Add(1)
+}
+
+// NoteSent counts an outgoing message against region r's stats.
+func (e *Engine) NoteSent(r int) { e.regions[r].borderSent++ }
+
+// heap helpers (manual binary heap: container/heap's interface would
+// allocate and indirect on every push of the border hot path).
+func (r *engRegion) heapPush(ev borderEvent) {
+	r.heap = append(r.heap, ev)
+	i := len(r.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !r.heap[i].less(r.heap[p]) {
+			break
+		}
+		r.heap[i], r.heap[p] = r.heap[p], r.heap[i]
+		i = p
+	}
+}
+
+func (r *engRegion) heapPop() borderEvent {
+	top := r.heap[0]
+	n := len(r.heap) - 1
+	r.heap[0] = r.heap[n]
+	r.heap[n] = borderEvent{}
+	r.heap = r.heap[:n]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		m := i
+		if l < n && r.heap[l].less(r.heap[m]) {
+			m = l
+		}
+		if rt < n && r.heap[rt].less(r.heap[m]) {
+			m = rt
+		}
+		if m == i {
+			break
+		}
+		r.heap[i], r.heap[m] = r.heap[m], r.heap[i]
+		i = m
+	}
+	return top
+}
+
+// drain moves inbox messages into the border queue. Returns how many
+// messages it integrated; the caller must publish an updated NET before
+// decrementing the global in-flight counter (see service).
+func (r *engRegion) drain() int {
+	if r.inCount.Load() == 0 {
+		return 0
+	}
+	r.inMu.Lock()
+	r.scratch, r.inbox = r.inbox, r.scratch[:0]
+	r.inMu.Unlock()
+	k := len(r.scratch)
+	r.inCount.Add(int32(-k))
+	for _, m := range r.scratch {
+		r.heapPush(borderEvent{at: m.T0, key: m.Key, end: false, msg: m})
+		r.heapPush(borderEvent{at: m.T1, key: m.Key, end: true, msg: m})
+	}
+	return k
+}
+
+func satAdd(a, b Time) Time {
+	if a > infTime-b {
+		return infTime
+	}
+	return a + b
+}
+
+// bound returns the highest timestamp region r may execute strictly below.
+func (e *Engine) bound(r *engRegion) Time {
+	b := infTime
+	for _, q := range r.nbrs {
+		if v := Time(q.eot.Load()); v < b {
+			b = v
+		}
+	}
+	if f := Time(e.floorT.Load()); f > b {
+		b = f
+	}
+	return b
+}
+
+// publishEOT raises r's earliest-output promise to at least v.
+func (r *engRegion) publishEOT(v Time) {
+	for {
+		cur := r.eot.Load()
+		if Time(cur) >= v || r.eot.CompareAndSwap(cur, int64(v)) {
+			return
+		}
+	}
+}
+
+// service runs region r until it goes idle or hits its horizon, returning
+// the number of events executed. Only r's owning worker calls it.
+func (e *Engine) service(r *engRegion) int {
+	executed := 0
+	for {
+		drained := r.drain()
+
+		// Next candidate: minimum of the region ladder and the border
+		// queue; the ladder wins exact-timestamp ties (see DESIGN.md §15).
+		en, lok := r.sim.next()
+		var hat Time
+		hok := len(r.heap) > 0
+		if hok {
+			hat = r.heap[0].at
+		}
+		useHeap := hok && (!lok || hat < en.at)
+		var at Time
+		switch {
+		case useHeap:
+			at = hat
+		case lok:
+			at = en.at
+		default:
+			// Idle: future outputs can only be reactions to messages not
+			// yet heard, and those arrive no earlier than the current bound
+			// — so the promise is bound + floor + delta. The bound is
+			// monotone within a run (F and the neighbor EOTs only rise), so
+			// the latched promise stays honest as the neighborhood advances;
+			// and because bounds stay finite until termination, an idle
+			// region's promise keeps rising with its neighbors instead of
+			// latching infinity — which would free them to run past the
+			// moment a message wakes this region up.
+			r.net.Store(int64(infTime))
+			r.publishEOT(satAdd(satAdd(e.bound(r), e.floor), e.delta))
+			if drained > 0 {
+				e.inflight.Add(int64(-drained))
+			}
+			return executed
+		}
+
+		// Publish where we are before anything else: the NET must be live
+		// by the time the in-flight counter drops (termination detection)
+		// and before the event executes (a mid-execution region must not
+		// look idle).
+		r.net.Store(int64(at))
+		if drained > 0 {
+			e.inflight.Add(int64(-drained))
+		}
+
+		bound := e.bound(r)
+		if at >= bound {
+			r.publishEOT(satAdd(min(at, satAdd(bound, e.floor)), e.delta))
+			r.stalls++
+			return executed
+		}
+
+		// Promise before executing: everything this event emits carries a
+		// timestamp >= at + delta.
+		r.publishEOT(satAdd(at, e.delta))
+		if useHeap {
+			ev := r.heapPop()
+			s := r.sim
+			if ev.at < s.now {
+				panic(fmt.Sprintf("sim: border event at %v behind region clock %v", ev.at, s.now))
+			}
+			s.now = ev.at
+			s.processed++
+			r.border++
+			r.handler(ev.msg, ev.end)
+		} else {
+			r.sim.exec(en)
+		}
+		executed++
+	}
+}
+
+// coordinate handles a worker-wide stall: advance the global floor to the
+// minimum published NET plus delta (always safe), or detect termination.
+// Returns true when the run is complete.
+func (e *Engine) coordinate() bool {
+	e.coMu.Lock()
+	defer e.coMu.Unlock()
+	if e.done.Load() {
+		return true
+	}
+	// The floor may only move while nothing is in flight: an undrained
+	// message can carry a timestamp below minNET + delta (its sender's NET
+	// has moved on since the send), so published NETs alone do not bound
+	// the system. In-flight messages are transient — every service pass
+	// drains — so a stalled fleet reaches inflight == 0 promptly.
+	if e.inflight.Load() != 0 {
+		return false
+	}
+	minNET := infTime
+	for _, r := range e.regions {
+		if v := Time(r.net.Load()); v < minNET {
+			minNET = v
+		}
+	}
+	if minNET == infTime {
+		// No region has an event and no message is in flight: nothing can
+		// ever create work again (events only beget events).
+		e.done.Store(true)
+		return true
+	}
+	f := satAdd(minNET, e.delta)
+	for {
+		cur := e.floorT.Load()
+		if Time(cur) >= f || e.floorT.CompareAndSwap(cur, int64(f)) {
+			break
+		}
+	}
+	return false
+}
+
+// Run drains every region's queues under the conservative protocol, then
+// aligns all region clocks to the global maximum (the serial engine's
+// clock after Run is the last event's time). Workers beyond the region
+// count are not spawned.
+func (e *Engine) Run(workers int) {
+	start := time.Now()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(e.regions) {
+		workers = len(e.regions)
+	}
+	// Execution order within each region is a pure function of region
+	// content, so the worker count never affects results — only wall
+	// clock. More workers than schedulable threads just contend and spin,
+	// so clamp to the runtime's parallelism budget.
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	e.done.Store(false)
+	// Prime the published state single-threaded so the first bound
+	// computations see real horizons instead of zero values. Messages
+	// pushed between runs (e.g. a flood started synchronously by the
+	// driving goroutine) are integrated here.
+	nets := make([]Time, len(e.regions))
+	minNET := infTime
+	for i, r := range e.regions {
+		r.drain()
+		en, lok := r.sim.next()
+		net := infTime
+		if lok {
+			net = en.at
+		}
+		if len(r.heap) > 0 && r.heap[0].at < net {
+			net = r.heap[0].at
+		}
+		nets[i] = net
+		if net < minNET {
+			minNET = net
+		}
+		r.net.Store(int64(net))
+	}
+	// Initial promises: a region's earliest output is its own next event
+	// plus delta, or a reaction to the earliest message that can exist
+	// anywhere — the global first event plus delta to cross a border, plus
+	// the MAC floor to react, plus delta to leave again. Both terms are
+	// finite wherever activity is still possible; publishing infinity for
+	// an empty region would let its neighbors run unboundedly ahead of the
+	// wake-up it has not heard about yet. The relaxation loop raises these
+	// as the run unfolds.
+	wake := satAdd(satAdd(minNET, e.delta), e.floor)
+	for i, r := range e.regions {
+		r.eot.Store(int64(satAdd(min(nets[i], wake), e.delta)))
+	}
+	// F starts at the same globally-safe line (nothing is in flight here).
+	e.floorT.Store(int64(satAdd(minNET, e.delta)))
+	e.inflight.Store(0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		owned := make([]*engRegion, 0, len(e.regions)/workers+1)
+		for i := w; i < len(e.regions); i += workers {
+			owned = append(owned, e.regions[i])
+		}
+		wg.Add(1)
+		go func(owned []*engRegion) {
+			defer wg.Done()
+			idle := 0
+			for !e.done.Load() {
+				n := 0
+				for _, r := range owned {
+					n += e.service(r)
+				}
+				if n > 0 {
+					e.executed.Add(int64(n))
+					idle = 0
+					continue
+				}
+				if e.coordinate() {
+					return
+				}
+				idle++
+				if idle < 32 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}(owned)
+	}
+	wg.Wait()
+
+	// Align clocks: the serial engine leaves now at the last executed
+	// event's timestamp; every region adopts the global maximum so
+	// inter-phase scheduling (relative to Now) matches the serial run.
+	var maxNow Time
+	for _, r := range e.regions {
+		if r.sim.now > maxNow {
+			maxNow = r.sim.now
+		}
+	}
+	for _, r := range e.regions {
+		if r.sim.now < maxNow {
+			r.sim.now = maxNow
+		}
+	}
+	e.wall += time.Since(start)
+}
+
+// Processed sums events executed across all regions (border edges
+// included, matching the serial engine's per-event accounting).
+func (e *Engine) Processed() uint64 {
+	var n uint64
+	for _, r := range e.regions {
+		n += r.sim.processed
+	}
+	return n
+}
+
+// Pending sums events queued across all regions.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, r := range e.regions {
+		n += r.sim.Pending() + len(r.heap)
+	}
+	return n
+}
+
+// RegionStats returns per-region counters (indexed by region).
+func (e *Engine) RegionStats() []RegionStats {
+	out := make([]RegionStats, len(e.regions))
+	for i, r := range e.regions {
+		out[i] = RegionStats{
+			Sim:          r.sim.Stats(),
+			BorderEvents: r.border,
+			BorderSent:   r.borderSent,
+			Stalls:       r.stalls,
+		}
+	}
+	return out
+}
+
+// Stats merges the per-region counters into one Stats using the engine's
+// wall clock, so EventsPerSec reports true parallel throughput.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, r := range e.regions {
+		st = st.Merge(r.sim.Stats())
+	}
+	st.RunWall = e.wall
+	if st.RunWall > 0 {
+		st.EventsPerSec = float64(st.Processed) / st.RunWall.Seconds()
+	}
+	return st
+}
+
+// Reset rewinds every region simulator and clears all border state, for
+// session reuse. The caller re-derives per-region structures as usual.
+func (e *Engine) Reset() {
+	for _, r := range e.regions {
+		r.sim.Reset()
+		r.inMu.Lock()
+		r.inbox = r.inbox[:0]
+		r.inMu.Unlock()
+		r.inCount.Store(0)
+		r.heap = r.heap[:0]
+		r.net.Store(0)
+		r.eot.Store(0)
+		r.border = 0
+		r.borderSent = 0
+		r.stalls = 0
+	}
+	e.inflight.Store(0)
+	e.floorT.Store(0)
+	e.done.Store(false)
+	e.wall = 0
+}

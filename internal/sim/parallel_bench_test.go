@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkBorderCrossing measures the cost of one cross-region message
+// through the conservative protocol: the Send into the neighbor's inbox,
+// the drain into its border heap, both timed edges, and the NET/EOT
+// publication traffic that lets the neighbor accept it. This is the
+// per-crossing overhead the region planner amortises against lookahead.
+func BenchmarkBorderCrossing(b *testing.B) {
+	const delta = Time(1000)
+	e := NewEngine(EngineConfig{
+		Regions:   2,
+		Neighbors: [][]int{{1}, {0}},
+		Lookahead: delta,
+		Floor:     0,
+	})
+	limit := uint64(b.N)
+	for r := 0; r < 2; r++ {
+		r := r
+		e.SetBorderHandler(r, func(m BorderMsg, end bool) {
+			if end || m.Key.PSeq >= limit {
+				return
+			}
+			now := e.Region(r).Now()
+			e.Send(1-r, BorderMsg{
+				To: 0, Kind: BorderFrame,
+				T0: now + delta, T1: now + delta + 1,
+				Key: BorderKey{PAt: now, PRegion: int32(r), PSeq: m.Key.PSeq + 1, Fan: 0},
+			})
+			e.NoteSent(r)
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Send(0, BorderMsg{To: 0, Kind: BorderFrame, T0: delta, T1: delta + 1,
+		Key: BorderKey{PAt: 0, PRegion: 1, PSeq: 1, Fan: 0}})
+	e.Run(2)
+	if got := e.Processed(); got < 2*uint64(b.N) {
+		b.Fatalf("retired %d edges, want at least %d", got, 2*b.N)
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestBorderHeapMatchesSort is the border queue's proof obligation:
+// pushing border events in any order and popping them all must reproduce
+// exactly the order borderEvent.less defines — including runs of equal
+// timestamps, where the BorderKey tie-break carries the determinism
+// argument. A sift-down bug here reorders same-time cross-region edges
+// and breaks bit-identity, so the check is randomized and exhaustive.
+func TestBorderHeapMatchesSort(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 2
+		evs := make([]borderEvent, count)
+		for i := range evs {
+			// Small value ranges force heavy timestamp and key collisions.
+			evs[i] = borderEvent{
+				at:  Time(r.Intn(4)),
+				end: r.Intn(2) == 0,
+				key: BorderKey{
+					PAt:     Time(r.Intn(3)),
+					PRegion: int32(r.Intn(2)),
+					PSeq:    uint64(r.Intn(3)),
+					Fan:     int32(r.Intn(2)),
+				},
+			}
+		}
+		want := append([]borderEvent(nil), evs...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].less(want[j]) })
+
+		reg := &engRegion{}
+		for _, ev := range evs {
+			reg.heapPush(ev)
+		}
+		for i := range want {
+			got := reg.heapPop()
+			// less is a total order on distinct events only up to its key
+			// fields; compare those fields, not the struct.
+			if got.at != want[i].at || got.key != want[i].key || got.end != want[i].end {
+				t.Logf("pop %d: got %+v want %+v", i, got, want[i])
+				return false
+			}
+		}
+		return len(reg.heap) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineHorizonEdge pins the conservative bound's boundary behavior:
+// an event scheduled exactly at a neighbor's earliest-output promise must
+// NOT execute until the promise rises past it — executing at the horizon
+// would race a border message bearing that exact timestamp — and must
+// still execute eventually (no deadlock at the boundary).
+func TestEngineHorizonEdge(t *testing.T) {
+	const delta = Time(100)
+	e := NewEngine(EngineConfig{
+		Regions:   2,
+		Neighbors: [][]int{{1}, {0}},
+		Lookahead: delta,
+		Floor:     0,
+	})
+	var order []int
+	var borderAt Time
+	// Region 0 executes a local event at t=500 and, in the same event,
+	// sends region 1 a border message for t=500+delta — the exact time
+	// region 1 has a local event scheduled. The border edge's key makes it
+	// sort before or after the local event deterministically; what must
+	// hold is that region 1 does not run past 500+delta before the message
+	// arrives.
+	e.Region(0).At(500, func() {
+		e.Send(1, BorderMsg{
+			To: 0, Kind: BorderCarrier,
+			T0: 500 + delta, T1: 500 + delta + 1,
+			Key: BorderKey{PAt: 500, PRegion: 0, PSeq: 1, Fan: 0},
+		})
+	})
+	e.SetBorderHandler(0, func(m BorderMsg, end bool) {})
+	e.SetBorderHandler(1, func(m BorderMsg, end bool) {
+		if !end {
+			borderAt = e.Region(1).Now()
+			order = append(order, 1)
+		}
+	})
+	// Region 1's local event at exactly the border edge's timestamp: the
+	// ladder event wins the tie against the border edge (serial parity).
+	e.Region(1).At(500+delta, func() { order = append(order, 0) })
+	e.Run(2)
+	if borderAt != 500+delta {
+		t.Fatalf("border edge executed at %v, want %v", borderAt, 500+delta)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("execution order %v, want local event before border edge at equal time", order)
+	}
+	if got := e.Processed(); got != 4 {
+		// 2 ladder events + 2 border edges (start+end).
+		t.Fatalf("processed %d events, want 4", got)
+	}
+}
+
+// TestEnginePingPongDeterministic runs a cross-region ping-pong under
+// every worker count and checks the engine retires the exact same event
+// schedule: region clocks, processed counts and the full causal chain are
+// a pure function of the initial state, never of scheduling luck.
+func TestEnginePingPongDeterministic(t *testing.T) {
+	const delta = Time(50)
+	const rounds = 200
+	run := func(workers int) (uint64, [2]Time) {
+		e := NewEngine(EngineConfig{
+			Regions:   2,
+			Neighbors: [][]int{{1}, {0}},
+			Lookahead: delta,
+			Floor:     0,
+		})
+		for r := 0; r < 2; r++ {
+			r := r
+			e.SetBorderHandler(r, func(m BorderMsg, end bool) {
+				if end || m.Key.PSeq >= rounds {
+					return
+				}
+				now := e.Region(r).Now()
+				e.Send(1-r, BorderMsg{
+					To: 0, Kind: BorderFrame,
+					T0: now + delta, T1: now + delta + 7,
+					Key: BorderKey{PAt: now, PRegion: int32(r), PSeq: m.Key.PSeq + 1, Fan: 0},
+				})
+				e.NoteSent(r)
+			})
+		}
+		e.Send(0, BorderMsg{To: 0, Kind: BorderFrame, T0: delta, T1: delta + 7,
+			Key: BorderKey{PAt: 0, PRegion: 1, PSeq: 1, Fan: 0}})
+		e.Run(workers)
+		return e.Processed(), [2]Time{e.Region(0).Now(), e.Region(1).Now()}
+	}
+	wantP, wantC := run(1)
+	if wantP == 0 {
+		t.Fatal("ping-pong retired no events")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		gotP, gotC := run(workers)
+		if gotP != wantP || gotC != wantC {
+			t.Fatalf("workers=%d: processed %d clocks %v, want %d %v",
+				workers, gotP, gotC, wantP, wantC)
+		}
+	}
+}
+
+// TestEngineStatsMerge checks the merged Stats view equals the sum of the
+// per-region breakdown — the aggregation contract mtmrsim -stats prints.
+func TestEngineStatsMerge(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		Regions:   2,
+		Neighbors: [][]int{{1}, {0}},
+		Lookahead: 10,
+		Floor:     0,
+	})
+	e.SetBorderHandler(0, func(m BorderMsg, end bool) {})
+	e.SetBorderHandler(1, func(m BorderMsg, end bool) {})
+	var fired atomic.Int64
+	for i := Time(1); i <= 32; i++ {
+		r := int(i % 2)
+		e.Region(r).At(i, func() { fired.Add(1) })
+	}
+	e.Run(2)
+	if fired.Load() != 32 {
+		t.Fatalf("fired %d events, want 32", fired.Load())
+	}
+	var sum uint64
+	for _, rs := range e.RegionStats() {
+		sum += rs.Sim.Processed + rs.BorderEvents
+	}
+	if st := e.Stats(); st.Processed != sum || st.Processed != e.Processed() {
+		t.Fatalf("merged stats %d, per-region sum %d, processed %d",
+			st.Processed, sum, e.Processed())
+	}
+}

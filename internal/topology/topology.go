@@ -109,6 +109,16 @@ func PaperRandom(r *rng.RNG) (*Topology, error) {
 	return RandomConnected(200, 200, 40, r, 100)
 }
 
+// ScaledField returns the field edge length that keeps the paper's node
+// density (200 nodes in a 200 m x 200 m field) for n nodes: the side grows
+// with sqrt(n), so average degree — and with it per-node channel work —
+// stays constant as deployments scale to 10k–100k nodes. The generators
+// and the adjacency build are grid-indexed (O(n·density)), so topology
+// construction at those scales stays linear in n.
+func ScaledField(n int) float64 {
+	return 200 * math.Sqrt(float64(n)/200)
+}
+
 // FromPositions builds a topology from explicit node positions — used for
 // crafted scenarios (the paper's Fig. 3 example network, failure-injection
 // layouts) and by tests.
