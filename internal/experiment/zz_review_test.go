@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"testing"
+
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+func TestReviewDoubleRunDataParallel(t *testing.T) {
+	topo := topology.PaperGrid()
+	rcv, err := topo.PickReceivers(0, 10, rng.New(5).Derive("receivers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Topo: topo, Source: 0, Receivers: rcv, Protocol: MTMRP, Seed: 5,
+		Traffic: TrafficOptions{DataPackets: 4, Interval: 100 * sim.Millisecond},
+		Engine:  ParallelOptions{Workers: 2, RegionGrid: 2},
+	}
+	s, err := NewSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunHello()
+	s.RunDiscovery(0)
+	if _, err := s.RunData(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunData(2); err != nil {
+		t.Fatal(err)
+	}
+}
