@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mtmrp"
@@ -116,19 +117,27 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 		sc.TraceWriter = f
 	}
 	// Drive the session phase by phase (rather than the one-shot Run) so
-	// each phase's simulator-event share can be reported under -v.
+	// each phase's simulator-event share can be reported under -v and the
+	// per-phase heap high-water mark under -stats.
+	var mem memTrack
+	mem.enabled = stats
+	mem.sample("baseline")
 	s, err := mtmrp.NewSession(sc)
 	if err != nil {
 		return err
 	}
+	mem.sample("construct")
 	s.RunHello()
 	helloEvents := s.Events()
+	mem.sample("hello")
 	s.RunDiscovery(rounds)
 	discoveryEvents := s.Events() - helloEvents
+	mem.sample("discovery")
 	if _, err := s.RunData(packets); err != nil {
 		return err
 	}
 	dataEvents := s.Events() - helloEvents - discoveryEvents
+	mem.sample("data")
 	out, err := s.Outcome()
 	if err != nil {
 		return err
@@ -163,6 +172,7 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 			fmt.Printf("region %-2d:               events=%d border=%d sent=%d stalls=%d\n",
 				i, rs.Sim.Processed, rs.BorderEvents, rs.BorderSent, rs.Stalls)
 		}
+		mem.report(topo.N())
 	}
 	if snapshot {
 		var fwd []int
@@ -173,6 +183,62 @@ func run(topoKind, topoFile string, nodes int, side, txRange float64, protoArg s
 		fmt.Print(mtmrp.NewSnapshot(topo, 0, rcv, fwd).Render())
 	}
 	return nil
+}
+
+// memTrack samples the Go heap after each phase so -stats can report the
+// session's resident footprint — the headline number for the 100k-node
+// walkthrough, where per-node protocol state (not the event queue) is
+// what must stay O(density), not O(n).
+type memTrack struct {
+	enabled bool
+	phases  []memSample
+}
+
+type memSample struct {
+	name      string
+	heapAlloc uint64 // live bytes after the phase
+	sys       uint64 // total bytes asked of the OS
+}
+
+func (m *memTrack) sample(phase string) {
+	if !m.enabled {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.phases = append(m.phases, memSample{name: phase, heapAlloc: ms.HeapAlloc, sys: ms.Sys})
+}
+
+// report prints one line per phase plus the peak live heap per node.
+// heap is live bytes after the phase (so "construct" minus "baseline" is
+// the session's structures); sys is the runtime's OS reservation, the
+// number that has to fit in the machine.
+func (m *memTrack) report(nodes int) {
+	if !m.enabled {
+		return
+	}
+	var peak uint64
+	for _, p := range m.phases {
+		fmt.Printf("memory after %-10s  heap=%s sys=%s\n", p.name+":", fmtBytes(p.heapAlloc), fmtBytes(p.sys))
+		if p.heapAlloc > peak {
+			peak = p.heapAlloc
+		}
+	}
+	if nodes > 0 {
+		fmt.Printf("peak heap per node:      %s\n", fmtBytes(peak/uint64(nodes)))
+	}
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func parseProtocol(s string) (mtmrp.Protocol, error) {

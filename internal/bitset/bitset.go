@@ -48,6 +48,10 @@ func (s *Set) Count() int {
 	return n
 }
 
+// Words returns the number of backing words currently held — the set's
+// retained storage, which memory-regression tests bound.
+func (s *Set) Words() int { return len(s.words) }
+
 // Reset clears every bit, keeping the backing storage for reuse.
 func (s *Set) Reset() {
 	for i := range s.words {

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"mtmrp/internal/rng"
+	"mtmrp/internal/topology"
+)
+
+// buildScaleSession constructs a random deployment of n nodes at the
+// paper's density and a serial MTMRP session over it, returning the
+// session's live-heap cost (bytes, GC-settled) and the session itself.
+func buildScaleSession(t *testing.T, n, receivers, packets int) (*Session, uint64) {
+	t.Helper()
+	topo, err := topology.RandomConnected(n, topology.ScaledField(n), 40, rng.New(7), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := LinkTableFor(topo)
+	rcv, err := topo.PickReceivers(0, receivers, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	s, err := NewSession(Scenario{
+		Topo: topo, Source: 0, Receivers: rcv, Protocol: MTMRP,
+		Seed: 7, Links: links,
+		Traffic: TrafficOptions{DataPackets: packets},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		t.Fatalf("heap did not grow building a %d-node session", n)
+	}
+	return s, after.HeapAlloc - before.HeapAlloc
+}
+
+// TestSessionMemoryScalesLinearly is the allocation-regression pin for the
+// neighborhood-local state layout: per-node session cost must be a
+// function of density, not network size. It builds two deployments at the
+// same density, 4x apart in node count, and bounds the growth of
+// bytes-per-node. Under the old id-indexed mark layout (and the dense
+// nbrHop scratch) per-node cost grew linearly in n — the 4x deployment
+// cost ~4x more per node — so the 1.5x tolerance cleanly separates the
+// two regimes while absorbing allocator and per-run noise.
+func TestSessionMemoryScalesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory measurement; skipped in -short")
+	}
+	const small, big = 2000, 8000
+	sSmall, heapSmall := buildScaleSession(t, small, 20, 1)
+	sBig, heapBig := buildScaleSession(t, big, 20, 1)
+	perSmall := float64(heapSmall) / small
+	perBig := float64(heapBig) / big
+	t.Logf("session heap: %d nodes -> %.0f B/node, %d nodes -> %.0f B/node", small, perSmall, big, perBig)
+	if perBig > 1.5*perSmall {
+		t.Fatalf("per-node session cost grew %.2fx from %d to %d nodes (want <= 1.5x): O(n) state is back",
+			perBig/perSmall, small, big)
+	}
+	runtime.KeepAlive(sSmall)
+	runtime.KeepAlive(sBig)
+}
+
+// TestScale50kSmoke is the CI scale gate: a 50k-node deployment must
+// construct a session and complete hello, discovery and a data packet,
+// end to end, delivering to most of the group. Heavyweight, so it only
+// runs when MTMRP_SCALE=1 (CI sets it; locally it is an explicit opt-in).
+func TestScale50kSmoke(t *testing.T) {
+	if os.Getenv("MTMRP_SCALE") == "" {
+		t.Skip("set MTMRP_SCALE=1 to run the 50k-node smoke")
+	}
+	s, heap := buildScaleSession(t, 50000, 50, 1)
+	t.Logf("50k session heap: %.1f MiB (%.0f B/node)", float64(heap)/(1<<20), float64(heap)/50000)
+	s.RunHello()
+	s.RunDiscovery(0)
+	rep, err := s.RunData(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 1 {
+		t.Fatalf("sent %d packets, want 1", rep.Sent)
+	}
+	out, err := s.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Result
+	t.Logf("50k delivery: %d/%d (tx %d)", r.ReceiversReached, r.ReceiverCount, r.Transmissions)
+	if float64(r.ReceiversReached) < 0.8*float64(r.ReceiverCount) {
+		t.Fatalf("delivered to %d/%d receivers, want >= 80%%", r.ReceiversReached, r.ReceiverCount)
+	}
+}

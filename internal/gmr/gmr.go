@@ -21,12 +21,12 @@
 package gmr
 
 import (
-	"mtmrp/internal/bitset"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/network"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
+	"mtmrp/internal/sparse"
 )
 
 // Config tunes the baseline.
@@ -45,15 +45,18 @@ func DefaultConfig() Config {
 }
 
 // session holds the per-session state: the delivery counter and the
-// handled set — destination d of packet seq maps to bit seq*N+d, so the
-// "each destination processed at most once per packet" bookkeeping that
-// used to be an unbounded map of maps is one word-packed bitset that
-// resets in place.
+// handled set — destination d of packet seq is the key seq*N+d, so the
+// "each destination processed at most once per packet" bookkeeping is one
+// open-addressing set that resets in place. The keys touched are the
+// destinations actually delegated through this node, so the set stays
+// proportional to packets · group size — as a bitset over seq*N+d it
+// retained O(n) bits per packet, the network-size term none of the other
+// per-node state carries anymore.
 type session struct {
 	key     packet.FloodKey
 	got     int
 	dataSeq uint32
-	handled bitset.Set
+	handled sparse.Set
 }
 
 // pending carries a prebuilt forwarding frame through the jitter delay
@@ -205,13 +208,12 @@ func (r *Router) Receive(p *packet.Packet) {
 	// Two upstream holders may both delegate through this node; process
 	// each destination of the packet at most once.
 	s := r.ensureSess(key)
-	base := int(g.DataSeq) * r.n
+	base := uint64(g.DataSeq) * uint64(r.n)
 	r.remaining = r.remaining[:0]
 	for _, d := range mine {
-		if s.handled.Test(base + int(d)) {
+		if !s.handled.Add(base + uint64(uint32(d))) {
 			continue
 		}
-		s.handled.Set(base + int(d))
 		if d == r.node.ID {
 			s.got++
 		} else {

@@ -104,17 +104,22 @@ func (c *Collector) onTransmitParallel(from *network.Node, p *packet.Packet) {
 // writes are safe; the atomic count publishes them to the other regions.
 func (c *Collector) registerPacketParallel(from *network.Node, p *packet.Packet) {
 	key := dataKey(p)
+	// Index through the fixed-capacity buffers: fold presents the
+	// registered prefix by truncating the slice lengths between phases,
+	// and a later RunData must keep registering past that presented
+	// length (it used to panic there instead).
+	pkts, sendAt := c.pkts[:c.maxPkts], c.sendAt[:c.maxPkts]
 	n := int(c.npkts.Load())
 	for i := n - 1; i >= 0; i-- {
-		if c.pkts[i] == key {
+		if pkts[i] == key {
 			return
 		}
 	}
 	if n >= c.maxPkts {
 		panic(fmt.Sprintf("metrics: parallel session exceeded its %d-packet budget (raise Traffic.DataPackets before NewSession)", c.maxPkts))
 	}
-	c.pkts[n] = key
-	c.sendAt[n] = from.Now()
+	pkts[n] = key
+	sendAt[n] = from.Now()
 	c.npkts.Store(int32(n + 1))
 }
 
@@ -130,9 +135,12 @@ func (c *Collector) onDeliverParallel(to *network.Node, p *packet.Packet) {
 	}
 	key := dataKey(p)
 	idx := -1
+	// Through the full-capacity buffer: npkts can exceed the presented
+	// slice length after a fold (see registerPacketParallel).
+	pkts := c.pkts[:c.maxPkts]
 	m := int(c.npkts.Load())
 	for i := m - 1; i >= 0; i-- {
-		if c.pkts[i] == key {
+		if pkts[i] == key {
 			idx = i
 			break
 		}

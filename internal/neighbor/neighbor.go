@@ -8,12 +8,25 @@
 // paper's density), so the table is sparse: entries live in fixed-size
 // slabs (pointer-stable — a *Entry handed out never moves), an
 // open-addressing index maps node id to slot, and a sorted slot list
-// preserves the ascending-id iteration order the dense layout had. The
-// per-session marks are word-packed bitsets keyed by a small session
-// registry. Storage scales with the neighborhood, not the network — the
-// old dense-by-id layout cost O(n) per node (O(n²) per deployment), which
-// at the 10k–100k-node scales of the parallel engine dominated session
-// construction. Everything resets in place for session reuse.
+// preserves the ascending-id iteration order the dense layout had.
+//
+// The per-session marks are word-packed bitsets keyed by a small session
+// registry, one bit per *table slot* — not per global node id. Definition
+// 1 only ever asks about a node's own neighborhood, and every mark target
+// is (made) a table entry, so the slot index is a complete key: per-node
+// mark state is O(density · sessions) where the id-indexed layout cost
+// O(n) bits per session (O(n²) per deployment — the last whole-network
+// term at the 10k–100k-node scales of the parallel engine). The slot-reuse
+// rule that makes this sound: a slot is bound to one id until Reset (the
+// id index never deletes; a recycled id re-admitted after Expire reuses
+// its old slot), and Expire clears the recycled slot's marks, so a
+// re-admitted neighbor always starts unmarked — exactly the id-indexed
+// semantics. The retained id-indexed implementation (marksref.go) pins
+// that equivalence under randomized differential tests.
+//
+// Everything resets in place for session reuse; Reset also trims the mark
+// registry's storage back to what the finished run actually used, so a
+// pooled table cannot retain a high-water session count forever.
 package neighbor
 
 import (
@@ -22,6 +35,7 @@ import (
 	"mtmrp/internal/bitset"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/sim"
+	"mtmrp/internal/sparse"
 )
 
 // Entry is one neighbor record.
@@ -35,6 +49,7 @@ type Entry struct {
 
 	groups  []packet.GroupID // announced memberships (small; linear scan)
 	present bool
+	slot    int32 // storage slot — the per-session mark bit for this entry
 	t       *Table
 }
 
@@ -50,18 +65,26 @@ func (e *Entry) InGroup(g packet.GroupID) bool {
 
 // Covered reports the per-session covered mark.
 func (e *Entry) Covered(key packet.FloodKey) bool {
-	if s := e.t.slot(key); s >= 0 {
-		return e.t.covered[s].Test(int(e.ID))
+	got := false
+	if s := e.t.session(key); s >= 0 {
+		got = e.t.covered[s].Test(int(e.slot))
 	}
-	return false
+	if r := e.t.ref; r != nil {
+		r.check("Covered", e.ID, key, got, r.Covered(e.ID, key))
+	}
+	return got
 }
 
 // Forwarder reports the per-session forwarder mark.
 func (e *Entry) Forwarder(key packet.FloodKey) bool {
-	if s := e.t.slot(key); s >= 0 {
-		return e.t.forwarder[s].Test(int(e.ID))
+	got := false
+	if s := e.t.session(key); s >= 0 {
+		got = e.t.forwarder[s].Test(int(e.slot))
 	}
-	return false
+	if r := e.t.ref; r != nil {
+		r.check("Forwarder", e.ID, key, got, r.Forwarder(e.ID, key))
+	}
+	return got
 }
 
 // slabBits sizes the entry slabs: 64 records ≈ two neighborhoods at the
@@ -71,21 +94,26 @@ const slabBits = 6
 // Table is a node's one-hop neighbor table. Entries live in fixed slabs in
 // insertion order (stable addresses), reached through an id index and a
 // slot list sorted by id; the per-session covered/forwarder marks live in
-// bitsets shared across entries, keyed by a small registry of session keys
-// (a handful per run, scanned linearly).
+// slot-indexed bitsets shared across entries, keyed by a small registry of
+// session keys (a handful per run, scanned linearly).
 type Table struct {
 	slabs  []*[1 << slabBits]Entry
 	nslots int     // slots handed out; slot s lives at slabs[s>>slabBits][s&mask]
 	order  []int32 // slots sorted by entry id — ascending-id iteration
-	idx    idmap   // node id -> slot
+	idx    sparse.Map // node id -> slot (insert-only: slot bindings survive recycling)
 	n      int     // entries currently present
 
 	expiry  sim.Time // entries older than this are recycled; 0 = never
 	expiry0 sim.Time // the NewTable value, restored by Reset
 
 	sessions  []packet.FloodKey
-	covered   []bitset.Set // covered[slot] bit id — covered receiver marks
-	forwarder []bitset.Set // forwarder[slot] bit id — known-forwarder marks
+	covered   []bitset.Set // covered[session] bit slot — covered receiver marks
+	forwarder []bitset.Set // forwarder[session] bit slot — known-forwarder marks
+
+	// ref, when attached by Shadow, mirrors every mark mutation into the
+	// retained id-indexed implementation and cross-checks every read —
+	// the differential-test hook (nil outside tests; one branch per op).
+	ref *RefMarks
 }
 
 // at returns the entry in storage slot s.
@@ -112,7 +140,11 @@ func (t *Table) Grow(n int) {}
 func (t *Table) SetExpiry(d sim.Time) { t.expiry = d }
 
 // Reset empties the table in place — entries, id index, session registry
-// and mark bitsets — keeping all storage, and restores the NewTable expiry.
+// and mark bitsets — keeping all storage, and restores the NewTable
+// expiry. Mark-registry storage beyond a small multiple of the finished
+// run's session count is released: such bitsets are leftovers of some
+// earlier, much busier run (a refresh-heavy sweep cell, say) and would
+// otherwise stay live in a pooled session forever.
 func (t *Table) Reset() {
 	for s := int32(0); s < int32(t.nslots); s++ {
 		e := t.at(s)
@@ -123,18 +155,35 @@ func (t *Table) Reset() {
 	}
 	t.nslots = 0
 	t.order = t.order[:0]
-	t.idx.reset()
+	t.idx.Reset()
 	t.n = 0
+	// Trim with hysteresis, not to the exact count: session counts jitter
+	// per node from run to run (a node reached by one seed's flood may be
+	// missed by the next), and trimming to the exact count would make the
+	// pool re-allocate that jitter every cycle. Anything beyond the bound
+	// is a genuine high-water leftover and is released.
+	keep := 2*len(t.sessions) + 4
+	if len(t.covered) > keep {
+		for i := keep; i < len(t.covered); i++ {
+			t.covered[i] = bitset.Set{}
+			t.forwarder[i] = bitset.Set{}
+		}
+		t.covered = t.covered[:keep]
+		t.forwarder = t.forwarder[:keep]
+	}
 	for i := range t.covered {
 		t.covered[i].Reset()
 		t.forwarder[i].Reset()
 	}
 	t.sessions = t.sessions[:0]
 	t.expiry = t.expiry0
+	if t.ref != nil {
+		t.ref.Reset()
+	}
 }
 
-// slot returns the registry index of key, or -1.
-func (t *Table) slot(key packet.FloodKey) int {
+// session returns the registry index of key, or -1.
+func (t *Table) session(key packet.FloodKey) int {
 	for i, k := range t.sessions {
 		if k == key {
 			return i
@@ -143,11 +192,12 @@ func (t *Table) slot(key packet.FloodKey) int {
 	return -1
 }
 
-// ensureSlot returns the registry index of key, registering it if new.
-// Mark bitsets beyond the registry length are leftovers from a previous
-// Reset and are already cleared, so they are reused as-is.
-func (t *Table) ensureSlot(key packet.FloodKey) int {
-	if s := t.slot(key); s >= 0 {
+// ensureSession returns the registry index of key, registering it if new.
+// Mark bitsets still present beyond the registry length are leftovers of
+// the current run's own ensureSession growth and are already cleared, so
+// they are reused as-is.
+func (t *Table) ensureSession(key packet.FloodKey) int {
+	if s := t.session(key); s >= 0 {
 		return s
 	}
 	t.sessions = append(t.sessions, key)
@@ -156,6 +206,19 @@ func (t *Table) ensureSlot(key packet.FloodKey) int {
 		t.forwarder = append(t.forwarder, bitset.Set{})
 	}
 	return len(t.sessions) - 1
+}
+
+// Sessions returns the number of session keys currently registered.
+func (t *Table) Sessions() int { return len(t.sessions) }
+
+// MarkWords returns the total bitset words retained by the mark registry —
+// the quantity the Reset trim bounds, exposed for the regression tests.
+func (t *Table) MarkWords() int {
+	n := 0
+	for i := range t.covered {
+		n += t.covered[i].Words() + t.forwarder[i].Words()
+	}
+	return n
 }
 
 // Observe records a HELLO from id carrying the given group memberships,
@@ -177,7 +240,7 @@ func (t *Table) Touch(id packet.NodeID, now sim.Time) {
 
 // Entry returns the record for id, or nil.
 func (t *Table) Entry(id packet.NodeID) *Entry {
-	s, ok := t.idx.get(uint32(id))
+	s, ok := t.idx.Get(uint64(uint32(id)))
 	if !ok {
 		return nil
 	}
@@ -205,7 +268,9 @@ func (t *Table) At(i int) *Entry {
 }
 
 // Expire recycles entries not seen within the expiry window, clearing
-// their per-session marks as well (the whole record is recycled).
+// their per-session marks as well (the whole record is recycled — the
+// slot-reuse rule: a slot freed here keeps its id binding, and the id's
+// re-admission starts with a clean mark row).
 func (t *Table) Expire(now sim.Time) {
 	if t.expiry == 0 {
 		return
@@ -218,9 +283,12 @@ func (t *Table) Expire(now sim.Time) {
 			e.groups = e.groups[:0]
 			e.present = false
 			t.n--
-			for s := range t.sessions {
-				t.covered[s].Clear(int(e.ID))
-				t.forwarder[s].Clear(int(e.ID))
+			for i := range t.sessions {
+				t.covered[i].Clear(int(e.slot))
+				t.forwarder[i].Clear(int(e.slot))
+			}
+			if t.ref != nil {
+				t.ref.ClearNode(e.ID)
 			}
 		}
 	}
@@ -229,18 +297,24 @@ func (t *Table) Expire(now sim.Time) {
 // MarkCovered marks neighbor id as a covered receiver for the session.
 // Unknown neighbors get a skeleton entry (we clearly can hear them).
 func (t *Table) MarkCovered(id packet.NodeID, key packet.FloodKey, now sim.Time) {
-	t.ensure(id, now)
-	t.covered[t.ensureSlot(key)].Set(int(id))
+	e := t.ensure(id, now)
+	t.covered[t.ensureSession(key)].Set(int(e.slot))
+	if t.ref != nil {
+		t.ref.MarkCovered(id, key)
+	}
 }
 
 // MarkForwarder marks neighbor id as a known forwarder for the session.
 func (t *Table) MarkForwarder(id packet.NodeID, key packet.FloodKey, now sim.Time) {
-	t.ensure(id, now)
-	t.forwarder[t.ensureSlot(key)].Set(int(id))
+	e := t.ensure(id, now)
+	t.forwarder[t.ensureSession(key)].Set(int(e.slot))
+	if t.ref != nil {
+		t.ref.MarkForwarder(id, key)
+	}
 }
 
 func (t *Table) ensure(id packet.NodeID, now sim.Time) *Entry {
-	s, ok := t.idx.get(uint32(id))
+	s, ok := t.idx.Get(uint64(uint32(id)))
 	if !ok {
 		// New id: take the next slot (a recycled id reuses its old slot —
 		// the index keeps the binding, as the dense layout did), splice it
@@ -252,6 +326,7 @@ func (t *Table) ensure(id packet.NodeID, now sim.Time) *Entry {
 		}
 		e := t.at(s)
 		e.ID = id
+		e.slot = s
 		e.t = t
 		i := sort.Search(len(t.order), func(i int) bool {
 			return t.at(t.order[i]).ID >= id
@@ -259,7 +334,7 @@ func (t *Table) ensure(id packet.NodeID, now sim.Time) *Entry {
 		t.order = append(t.order, 0)
 		copy(t.order[i+1:], t.order[i:])
 		t.order[i] = s
-		t.idx.put(uint32(id), s)
+		t.idx.Put(uint64(uint32(id)), s)
 	}
 	e := t.at(s)
 	if !e.present {
@@ -283,8 +358,12 @@ func (t *Table) Reliable(id packet.NodeID, minCount int) bool {
 // HasForwarder reports whether any neighbor is a known forwarder for the
 // session — the test driving both halves of the path handover scheme.
 func (t *Table) HasForwarder(key packet.FloodKey) bool {
-	s := t.slot(key)
-	return s >= 0 && t.forwarder[s].Count() > 0
+	s := t.session(key)
+	got := s >= 0 && t.forwarder[s].Count() > 0
+	if t.ref != nil {
+		t.ref.check("HasForwarder", packet.NoNode, key, got, t.ref.HasForwarder(key))
+	}
+	return got
 }
 
 // RelayProfit returns the number of neighbors that are members of the
@@ -292,14 +371,18 @@ func (t *Table) HasForwarder(key packet.FloodKey) bool {
 // querying node's own upstream/source id from consideration when needed
 // (pass packet.NoNode for none).
 func (t *Table) RelayProfit(key packet.FloodKey, exclude packet.NodeID) int {
-	s := t.slot(key)
+	s := t.session(key)
 	n := 0
 	for _, o := range t.order {
 		e := t.at(o)
 		if !e.present || e.ID == exclude || e.ID == key.Source {
 			continue
 		}
-		if e.InGroup(key.Group) && !(s >= 0 && t.covered[s].Test(int(e.ID))) {
+		cov := s >= 0 && t.covered[s].Test(int(e.slot))
+		if t.ref != nil {
+			t.ref.check("RelayProfit/covered", e.ID, key, cov, t.ref.Covered(e.ID, key))
+		}
+		if e.InGroup(key.Group) && !cov {
 			n++
 		}
 	}
@@ -331,69 +414,4 @@ func (t *Table) IDs() []packet.NodeID {
 		}
 	}
 	return out
-}
-
-// idmap is a minimal open-addressing hash index from node id to storage
-// slot: power-of-two capacity, linear probing, no deletion (a recycled
-// neighbor keeps its slot binding, exactly as the dense-by-id layout did).
-type idmap struct {
-	keys []uint32 // id+1; 0 marks an empty cell
-	vals []int32
-	used int
-}
-
-func (m *idmap) get(id uint32) (int32, bool) {
-	if len(m.keys) == 0 {
-		return 0, false
-	}
-	mask := uint32(len(m.keys) - 1)
-	for i := (id * 0x9e3779b9) & mask; ; i = (i + 1) & mask {
-		switch m.keys[i] {
-		case id + 1:
-			return m.vals[i], true
-		case 0:
-			return 0, false
-		}
-	}
-}
-
-func (m *idmap) put(id uint32, v int32) {
-	if 4*(m.used+1) > 3*len(m.keys) {
-		m.rehash()
-	}
-	mask := uint32(len(m.keys) - 1)
-	for i := (id * 0x9e3779b9) & mask; ; i = (i + 1) & mask {
-		switch m.keys[i] {
-		case id + 1:
-			m.vals[i] = v
-			return
-		case 0:
-			m.keys[i] = id + 1
-			m.vals[i] = v
-			m.used++
-			return
-		}
-	}
-}
-
-func (m *idmap) rehash() {
-	oldK, oldV := m.keys, m.vals
-	n := 2 * len(oldK)
-	if n == 0 {
-		n = 16
-	}
-	m.keys = make([]uint32, n)
-	m.vals = make([]int32, n)
-	m.used = 0
-	for i, k := range oldK {
-		if k != 0 {
-			m.put(k-1, oldV[i])
-		}
-	}
-}
-
-// reset empties the index keeping its storage.
-func (m *idmap) reset() {
-	clear(m.keys)
-	m.used = 0
 }

@@ -1,0 +1,84 @@
+package proto
+
+import (
+	"testing"
+
+	"mtmrp/internal/packet"
+	"mtmrp/internal/sim"
+)
+
+// TestMaintenanceExpiryUnderMarkOracle runs the maintenance rig — the one
+// path in the stack where tables actually age — with the id-indexed mark
+// oracle armed on every node. Killing the receiver-adjacent forwarder
+// makes its entries go stale everywhere, so the steady-state beacons drive
+// Expire through real evictions while every mark read the repair logic
+// performs (HasForwarder in the suppression hook, liveForwarderNeighbor's
+// Forwarder probes) is cross-checked against the reference. The explicit
+// eviction assertion keeps the test honest: if maintenance stops aging
+// tables, this fails rather than silently checking nothing.
+func TestMaintenanceExpiryUnderMarkOracle(t *testing.T) {
+	net, bases := maintenanceRig(t)
+	for _, b := range bases {
+		b.NT.Shadow()
+	}
+	net.Nodes[4].JoinGroup(1)
+	net.Nodes[2].JoinGroup(1)
+
+	net.Start()
+	net.Run()
+	key := bases[0].FloodQuery(1)
+	net.Run()
+	bases[0].SendData(key, 8)
+	net.Run()
+	if !bases[4].GotData(key) {
+		t.Fatal("initial delivery failed")
+	}
+
+	mc := MaintenanceConfig{
+		HelloInterval: 100 * sim.Millisecond,
+		HelloJitter:   30 * sim.Millisecond,
+		Expiry:        250 * sim.Millisecond,
+		CheckInterval: 100 * sim.Millisecond,
+		Rounds:        8,
+	}
+	for _, b := range bases {
+		b.EnableMaintenance(mc)
+	}
+	bases[4].OnRouteLoss(func(packet.FloodKey) {})
+	bases[4].WatchSession(key)
+
+	var victim int = -1
+	for _, cand := range []int{2, 3} {
+		if bases[cand].IsForwarder(key) {
+			victim = cand
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("no forwarder adjacent to the receiver in this draw")
+	}
+	if bases[4].NT.Entry(packet.NodeID(victim)) == nil {
+		t.Fatal("victim not in receiver's table before failure")
+	}
+	net.Nodes[victim].Fail()
+	net.Run()
+
+	// The dead forwarder must have aged out of the receiver's table — the
+	// Expire eviction the oracle watched — and a re-heard neighbor must be
+	// consistent between layouts for the session key throughout (checked
+	// on every read above; one final dense sweep here).
+	if bases[4].NT.Entry(packet.NodeID(victim)) != nil {
+		t.Fatal("dead forwarder never evicted: maintenance did not age the table")
+	}
+	for _, b := range bases {
+		nt := b.NT
+		for i := 0; i < nt.Slots(); i++ {
+			if e := nt.At(i); e != nil {
+				e.Covered(key)
+				e.Forwarder(key)
+			}
+		}
+		nt.HasForwarder(key)
+		nt.RelayProfit(key, packet.NoNode)
+	}
+}

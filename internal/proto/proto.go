@@ -23,6 +23,7 @@ import (
 	"mtmrp/internal/packet"
 	"mtmrp/internal/rng"
 	"mtmrp/internal/sim"
+	"mtmrp/internal/sparse"
 )
 
 // Config carries the timing shared by all protocols.
@@ -109,25 +110,32 @@ type sessState struct {
 	dataSeq     uint32
 
 	seenData bitset.Set // bit = DataSeq: duplicate suppression
-	seenJR   bitset.Set // bit = receiver id: JoinReply relay dedup
+	seenJR   sparse.Set // key = receiver id: JoinReply relay dedup
 
 	// repliesHeard, at the source, tracks distinct receivers whose
-	// JoinReply made it all the way back (bit = receiver id).
-	repliesHeard bitset.Set
+	// JoinReply made it all the way back (key = receiver id).
+	repliesHeard sparse.Set
 	repliesCount int
 
 	// nbrHop records each neighbor's hop distance to the source, learned
 	// from its JoinQuery rebroadcast (every copy carries the sender's hop
-	// count); -1 = unknown. The path handover scheme uses it to anchor
+	// count); absent = unknown. The path handover scheme uses it to anchor
 	// only onto forwarders strictly closer to the source — without that
 	// condition, two nodes can hand their paths over to each other and
 	// strand every receiver below them (Algorithm 2 as written admits
-	// such cycles).
-	nbrHop []int32
+	// such cycles). Only one-hop senders ever land here, so the map stays
+	// neighborhood-sized — as a network-length slice it was the largest
+	// remaining O(n)-per-node term (an n-node deployment paid O(n²) bytes
+	// and cleared them per session), which capped single-host scale well
+	// short of the 100k-node target.
+	nbrHop sparse.Map
 }
 
-// clear rewinds a (possibly recycled) block for a new session over n nodes.
-func (s *sessState) clear(key packet.FloodKey, n int) {
+// clear rewinds a (possibly recycled) block for a new session. All
+// storage is keyed by what the session actually touched (density, group
+// size, packet count), so the rewind cost is proportional to that too —
+// never to the network size.
+func (s *sessState) clear(key packet.FloodKey) {
 	s.key = key
 	s.route = Route{}
 	s.hasRoute = false
@@ -140,14 +148,7 @@ func (s *sessState) clear(key packet.FloodKey, n int) {
 	s.seenJR.Reset()
 	s.repliesHeard.Reset()
 	s.repliesCount = 0
-	if cap(s.nbrHop) < n {
-		s.nbrHop = make([]int32, n)
-	} else {
-		s.nbrHop = s.nbrHop[:n]
-	}
-	for i := range s.nbrHop {
-		s.nbrHop[i] = -1
-	}
+	s.nbrHop.Reset()
 }
 
 // pending carries the arguments of a deferred protocol action (jittered
@@ -219,7 +220,7 @@ func (b *Base) ensureSess(key packet.FloodKey) *sessState {
 	} else {
 		s = &sessState{}
 	}
-	s.clear(key, b.n)
+	s.clear(key)
 	b.sessions = append(b.sessions, s)
 	return s
 }
@@ -269,6 +270,11 @@ func (b *Base) Name() string { return b.name }
 
 // Node returns the node this instance runs on (nil before Attach).
 func (b *Base) Node() *network.Node { return b.node }
+
+// NeighborTable returns the node's one-hop neighbor table (nil before
+// Attach). The differential mark tests reach through this to attach
+// their id-indexed shadow oracle to every router in a session.
+func (b *Base) NeighborTable() *neighbor.Table { return b.NT }
 
 // Attach implements network.Protocol.
 func (b *Base) Attach(n *network.Node) {
@@ -467,7 +473,7 @@ func (b *Base) HasUphillForwarder(key packet.FloodKey) bool {
 		if e == nil || !e.Forwarder(key) {
 			continue
 		}
-		if h := s.nbrHop[e.ID]; h >= 0 && h < s.route.HopCount {
+		if h, ok := s.nbrHop.Get(uint64(uint32(e.ID))); ok && h < s.route.HopCount {
 			return true
 		}
 	}
@@ -478,13 +484,10 @@ func (b *Base) HasUphillForwarder(key packet.FloodKey) bool {
 // session, and whether it is known.
 func (b *Base) NeighborHop(key packet.FloodKey, id packet.NodeID) (int32, bool) {
 	s := b.sess(key)
-	if s == nil || int(id) >= len(s.nbrHop) {
+	if s == nil {
 		return 0, false
 	}
-	if h := s.nbrHop[id]; h >= 0 {
-		return h, true
-	}
-	return 0, false
+	return s.nbrHop.Get(uint64(uint32(id)))
 }
 
 // --- JoinQuery path (§IV.C.1, Algorithm 1) ---
@@ -498,8 +501,8 @@ func (b *Base) onJoinQuery(p *packet.Packet) {
 	// Every copy — including duplicates — reveals the sender's own hop
 	// distance (a node rebroadcasts with HopCount equal to its distance).
 	s := b.ensureSess(key)
-	if h := s.nbrHop[p.From]; h < 0 || q.HopCount < h {
-		s.nbrHop[p.From] = q.HopCount
+	if h, ok := s.nbrHop.Get(uint64(uint32(p.From))); !ok || q.HopCount < h {
+		s.nbrHop.Put(uint64(uint32(p.From)), q.HopCount)
 	}
 	if s.hasRoute {
 		return // only the first copy is processed
@@ -609,18 +612,16 @@ func (b *Base) onJoinReply(p *packet.Packet) {
 	// We are the selected next hop.
 	if b.node.ID == key.Source {
 		s := b.ensureSess(key)
-		if !s.repliesHeard.Test(int(r.ReceiverID)) {
-			s.repliesHeard.Set(int(r.ReceiverID))
+		if s.repliesHeard.Add(uint64(uint32(r.ReceiverID))) {
 			s.repliesCount++
 		}
 		return
 	}
 
 	s := b.ensureSess(key)
-	if s.seenJR.Test(int(r.ReceiverID)) {
+	if !s.seenJR.Add(uint64(uint32(r.ReceiverID))) {
 		return
 	}
-	s.seenJR.Set(int(r.ReceiverID))
 
 	// Path handover (Algorithm 2, lines 4-6): a known forwarder neighbor
 	// already provides a route toward the source.
