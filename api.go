@@ -362,6 +362,42 @@ func TuningSweep(cfg TuningConfig) (*TuningResult, error) {
 	return experiment.TuningSweep(cfg)
 }
 
+// Content-addressed service specs (cmd/mtmrd): wire-level JSON descriptions
+// of a sweep or single session whose canonical form hashes to a cache key.
+// Determinism makes equal keys certify byte-identical results.
+type (
+	// SweepSpec is the wire form of a group-size sweep; Key() is its
+	// content address.
+	SweepSpec = experiment.SweepSpec
+	// RunSpec is the wire form of one session; flat and grouped option
+	// spellings canonicalize (and hash) identically.
+	RunSpec = experiment.RunSpec
+	// RunTopoSpec describes a RunSpec's deployment ("grid" or "random").
+	RunTopoSpec = experiment.TopoSpec
+)
+
+// Version triple folded into every cache key: bumping any constituent
+// orphans stale cached results on purpose.
+const (
+	// SpecVersion versions the canonical spec encoding.
+	SpecVersion = experiment.SpecVersion
+	// ResultSchemaVersion versions the frozen Result schema.
+	ResultSchemaVersion = experiment.ResultSchemaVersion
+	// CodeVersion names the simulated behaviour (bumped when golden
+	// tables are regenerated).
+	CodeVersion = experiment.CodeVersion
+)
+
+// ParseProtocol resolves a wire-level protocol name ("mtmrp", "odmrp",
+// figure-legend spellings, ...).
+func ParseProtocol(name string) (Protocol, error) { return experiment.ParseProtocol(name) }
+
+// RunFromSpec executes the session a RunSpec describes, optionally through
+// a SessionPool (bit-identical either way).
+func RunFromSpec(s RunSpec, pool *SessionPool) (*Outcome, error) {
+	return experiment.RunFromSpec(s, pool)
+}
+
 // Ablation study types: the per-mechanism breakdown of MTMRP's savings
 // (beyond the paper, which only ablates PHS).
 type (

@@ -1,21 +1,29 @@
 // Command benchreport runs the repository's headline performance
 // benchmarks and writes a machine-readable JSON report (default
-// BENCH_pr8.json) for CI artifacts and regression tracking:
+// BENCH_pr9.json) for CI artifacts and regression tracking:
 //
-//	go run ./cmd/benchreport            # writes BENCH_pr8.json
+//	go run ./cmd/benchreport            # writes BENCH_pr9.json
 //	go run ./cmd/benchreport -o out.json
 //	go run ./cmd/benchreport -scale=false   # skip the 10k/100k-node runs
 //
 // The report carries ns/op, bytes/op, allocs/op and (where meaningful)
-// simulator events per second for each benchmark, alongside six frozen
+// simulator events per second for each benchmark, alongside seven frozen
 // baselines those numbers are compared against: the original
 // pre-optimisation measurements (the 2x serial-sweep target is defined
 // against these), the PR-3 numbers (binary-heap scheduler, unbatched
 // insertion), the PR-4 numbers (immediately before the fault layer), the
 // PR-5 numbers (immediately before the mobility subsystem), the PR-6
-// numbers (immediately before the region-parallel engine) and the PR-7
-// numbers (immediately before the neighborhood-local mark layout — the
-// serial regression budget of < 3% is stated against these).
+// numbers (immediately before the region-parallel engine), the PR-7
+// numbers (immediately before the neighborhood-local mark layout) and
+// the PR-8 numbers (immediately before the content-addressed sweep
+// service — the serial regression budget of < 3% is stated against
+// these).
+//
+// PR 9's serving-layer measurements (ServiceCacheHit, ServiceStoreHit,
+// ServiceSweepMiss, SingleflightContention) cover the content-addressed
+// cache's hit path (key derivation + LRU lookup), a hit forced to the
+// checksummed on-disk store, the cold path end to end on a small sweep,
+// and the singleflight group under all-duplicate contention.
 //
 // The scale section runs a single 10k-node session on the serial and the
 // region-parallel engine and records the data-phase wall-clock ratio —
@@ -34,16 +42,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"mtmrp"
 	"mtmrp/internal/channel"
+	"mtmrp/internal/experiment"
 	"mtmrp/internal/geom"
 	"mtmrp/internal/packet"
 	"mtmrp/internal/radio"
 	"mtmrp/internal/rng"
+	"mtmrp/internal/service"
 	"mtmrp/internal/sim"
 )
 
@@ -61,7 +72,7 @@ type Measurement struct {
 	HeapBytesPerNode int64 `json:"heap_bytes_per_node,omitempty"`
 }
 
-// Report is the BENCH_pr8.json schema.
+// Report is the BENCH_pr9.json schema.
 type Report struct {
 	Generated   string        `json:"generated"`
 	GoVersion   string        `json:"go_version"`
@@ -74,6 +85,7 @@ type Report struct {
 	BaselinePR5 []Measurement `json:"baseline_pr5"`
 	BaselinePR6 []Measurement `json:"baseline_pr6"`
 	BaselinePR7 []Measurement `json:"baseline_pr7"`
+	BaselinePR8 []Measurement `json:"baseline_pr8"`
 	Current     []Measurement `json:"current"`
 	// Speedup is the headline ratio the 2x serial-sweep target is
 	// stated against: pre-optimisation sweep ns/op over current.
@@ -98,6 +110,12 @@ type Report struct {
 	// Figure-5 sweep must stay within 3% of PR 7 (values below 0.97 blow
 	// the budget).
 	SpeedupPR7 float64 `json:"sweep_speedup_vs_pr7"`
+	// SpeedupPR8 is the serial regression gauge for the serving layer: the
+	// sweep service is purely additive (a sweep submitted directly through
+	// the library takes the unchanged path; only EngineOptions grew an
+	// optional WorkerState hook), so the Figure-5 sweep must stay within 3%
+	// of PR 8 (values below 0.97 blow the budget).
+	SpeedupPR8 float64 `json:"sweep_speedup_vs_pr8"`
 	// Speedup10k is the parallel engine's headline: wall-clock of the
 	// serial 10k-node data phase over the 8-worker parallel one (the >=3x
 	// target — meaningful only on a multi-core host, see num_cpu).
@@ -208,8 +226,33 @@ var baselinePR7 = []Measurement{
 	{Name: "ParallelRun10k/workers=8", NsPerOp: 724061095, EventsPerSec: 4122714},
 }
 
+// baselinePR8 is the previous release's measurement set (slot-indexed
+// mark layout and sparse protocol scratch in place), recorded immediately
+// before the content-addressed sweep service. Re-measured on the host
+// that produces BENCH_pr9.json (the serving layer left the serial library
+// path untouched), so the < 3% serial budget is an apples-to-apples
+// same-machine comparison. The parallel ratio below 1 again reflects the
+// recording host's limited cores.
+var baselinePR8 = []Measurement{
+	{Name: "GroupSizeSweep/workers=1", NsPerOp: 175755486, BytesPerOp: 8837793, AllocsPerOp: 31686, EventsPerSec: 11811989},
+	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 25464783, BytesPerOp: 6487583, AllocsPerOp: 17737, EventsPerSec: 6708614},
+	{Name: "Discovery/MTMRP", NsPerOp: 2901292, BytesPerOp: 1084, AllocsPerOp: 1},
+	{Name: "Discovery/ODMRP", NsPerOp: 3009089, BytesPerOp: 1934, AllocsPerOp: 1},
+	{Name: "Discovery/DODMRP", NsPerOp: 3308112, BytesPerOp: 1216, AllocsPerOp: 1},
+	{Name: "TransmitDense/200nodes", NsPerOp: 9927, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "LinkTableBuild/200nodes", NsPerOp: 1533968, BytesPerOp: 1288968, AllocsPerOp: 2704},
+	{Name: "LinkTableMove/200nodes", NsPerOp: 23856, BytesPerOp: 37, AllocsPerOp: 0},
+	{Name: "FaultSweep/workers=1", NsPerOp: 42544540, BytesPerOp: 4370124, AllocsPerOp: 16323, EventsPerSec: 10786818},
+	{Name: "MobilitySweep/workers=1", NsPerOp: 52490603, BytesPerOp: 5267254, AllocsPerOp: 19876, EventsPerSec: 9302635},
+	{Name: "BorderCrossing", NsPerOp: 172, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "ParallelRun10k/serial", NsPerOp: 388667626, EventsPerSec: 7680334},
+	{Name: "ParallelRun10k/workers=8", NsPerOp: 674096530, EventsPerSec: 4428293},
+	{Name: "SessionConstruct10k", NsPerOp: 7400824, HeapBytesPerNode: 1230},
+	{Name: "SessionConstruct100k", NsPerOp: 97077916, HeapBytesPerNode: 1228},
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr8.json", "output file")
+	out := flag.String("o", "BENCH_pr9.json", "output file")
 	scale := flag.Bool("scale", true, "run the 10k-node serial-vs-parallel comparison")
 	flag.Parse()
 
@@ -225,6 +268,7 @@ func main() {
 		BaselinePR5: baselinePR5,
 		BaselinePR6: baselinePR6,
 		BaselinePR7: baselinePR7,
+		BaselinePR8: baselinePR8,
 	}
 
 	run := func(name string, events *float64, fn func(b *testing.B)) Measurement {
@@ -438,6 +482,133 @@ func main() {
 		benchBorderCrossing(b)
 	})
 
+	// The serving layer (first measured in PR 9, so no earlier baseline
+	// entries). ServiceCacheHit is the full serve path for a cached sweep:
+	// canonicalize, hash, LRU lookup — the sub-millisecond promise.
+	hitSvc, err := service.New(service.Config{SweepWorkers: 2})
+	if err != nil {
+		fatal(err)
+	}
+	hitSpec := experiment.SweepSpec{
+		Topo: "grid", Sizes: []int{5, 10}, Runs: 2, Seed: 42,
+		Protocols: []string{"mtmrp", "odmrp"},
+	}
+	if _, err := hitSvc.Sweep(hitSpec); err != nil {
+		fatal(err)
+	}
+	// b.Fatal inside testing.Benchmark panics on a nil logger, so the
+	// service benches report failed assertions through svcErr instead.
+	var svcErr error
+	run("ServiceCacheHit", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := hitSvc.Sweep(hitSpec)
+			if err != nil || !res.Hit {
+				svcErr = fmt.Errorf("ServiceCacheHit %d: hit=%v err=%v", i, res.Hit, err)
+				return
+			}
+		}
+	})
+	if svcErr != nil {
+		fatal(svcErr)
+	}
+	hitSvc.Close()
+
+	// A hit served from the on-disk store: a 1-entry cache with alternating
+	// keys forces a read + CRC check + LRU refill every iteration.
+	svcDir, err := os.MkdirTemp("", "benchreport-svc")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(svcDir)
+	storeSvc, err := service.New(service.Config{
+		StorePath: filepath.Join(svcDir, "results.store"), SweepWorkers: 2, CacheEntries: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	storeSpecA := experiment.SweepSpec{Topo: "grid", Sizes: []int{5}, Runs: 2, Seed: 1, Protocols: []string{"mtmrp"}}
+	storeSpecB := storeSpecA
+	storeSpecB.Seed = 2
+	if _, err := storeSvc.Sweep(storeSpecA); err != nil {
+		fatal(err)
+	}
+	if _, err := storeSvc.Sweep(storeSpecB); err != nil {
+		fatal(err)
+	}
+	// The flip counter persists across testing.Benchmark's repeated
+	// invocations (the 1-entry cache does too), so consecutive requests
+	// always alternate keys and every read really comes from the store.
+	var storeFlip int
+	run("ServiceStoreHit", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec := storeSpecA
+			if storeFlip%2 == 1 {
+				spec = storeSpecB
+			}
+			storeFlip++
+			res, err := storeSvc.Sweep(spec)
+			if err != nil || res.Source != "store" {
+				svcErr = fmt.Errorf("ServiceStoreHit %d: source=%q err=%v", i, res.Source, err)
+				return
+			}
+		}
+	})
+	if svcErr != nil {
+		fatal(svcErr)
+	}
+	storeSvc.Close()
+
+	// The cold path end to end on a small sweep: canonicalize, hash,
+	// execute on pooled sessions, marshal, append to the store, fill the
+	// cache. The seed counter survives testing.Benchmark's probe runs so
+	// every iteration really is a miss.
+	missSvc, err := service.New(service.Config{
+		StorePath: filepath.Join(svcDir, "miss.store"), SweepWorkers: 2, WarmPools: 2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var missSeed uint64
+	run("ServiceSweepMiss", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			missSeed++
+			res, err := missSvc.Sweep(experiment.SweepSpec{
+				Topo: "grid", Sizes: []int{5, 10}, Runs: 2, Seed: missSeed,
+				Protocols: []string{"mtmrp", "odmrp"},
+			})
+			if err != nil || res.Hit {
+				svcErr = fmt.Errorf("ServiceSweepMiss %d: hit=%v err=%v", i, res.Hit, err)
+				return
+			}
+		}
+	})
+	if svcErr != nil {
+		fatal(svcErr)
+	}
+	missSvc.Close()
+
+	// The singleflight group under all-duplicate contention: every parallel
+	// caller asks for the same key, so throughput is bounded by the
+	// collapse bookkeeping, not the (trivial) compute.
+	run("SingleflightContention", nil, func(b *testing.B) {
+		var g service.FlightGroup
+		payload := []byte("x")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := g.Do("hot", func() ([]byte, error) { return payload, nil }); err != nil {
+					svcErr = err
+					return
+				}
+			}
+		})
+	})
+	if svcErr != nil {
+		fatal(svcErr)
+	}
+
 	if *scale {
 		s10k, p10k, err := scale10k()
 		if err != nil {
@@ -467,6 +638,7 @@ func main() {
 		rep.SpeedupPR5 = baselinePR5[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR6 = baselinePR6[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR7 = baselinePR7[0].NsPerOp / sweep.NsPerOp
+		rep.SpeedupPR8 = baselinePR8[0].NsPerOp / sweep.NsPerOp
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -477,8 +649,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.3fx vs pr6, %.3fx vs pr7, 10k parallel %.2fx, %d allocs/op)\n",
-		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR6, rep.SpeedupPR7, rep.Speedup10k, sweep.AllocsPerOp)
+	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.3fx vs pr7, %.3fx vs pr8, 10k parallel %.2fx, %d allocs/op)\n",
+		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR7, rep.SpeedupPR8, rep.Speedup10k, sweep.AllocsPerOp)
 }
 
 // benchBorderCrossing is the body of the BorderCrossing measurement: a

@@ -114,19 +114,30 @@ type EngineOptions struct {
 	Progress sweep.ProgressFunc
 	// ErrorPolicy selects fail-fast (default) or collect-and-report.
 	ErrorPolicy sweep.ErrorPolicy
+	// WorkerState overrides the per-worker state constructor (default: a
+	// fresh SessionPool per worker per sweep). Long-running callers — the
+	// sweep service — supply pre-warmed pools from a bank so back-to-back
+	// sweeps skip session construction entirely. Like everything in
+	// sweep.Config.WorkerState, it may only carry performance caches:
+	// results must be bit-identical with or without it.
+	WorkerState func() any
 }
 
 // engineConfig assembles the engine configuration for a driver. Every
 // driver gets a per-worker SessionPool, so the runs of a sweep reuse
 // simulator/channel/protocol state instead of rebuilding it per round.
 func engineConfig(seed uint64, opts EngineOptions) sweep.Config {
+	ws := opts.WorkerState
+	if ws == nil {
+		ws = func() any { return NewSessionPool() }
+	}
 	return sweep.Config{
 		Seed:        seed,
 		Workers:     opts.Workers,
 		Context:     opts.Ctx,
 		ErrorPolicy: opts.ErrorPolicy,
 		Progress:    opts.Progress,
-		WorkerState: func() any { return NewSessionPool() },
+		WorkerState: ws,
 	}
 }
 

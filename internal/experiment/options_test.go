@@ -92,6 +92,63 @@ func TestFlatAndGroupedSpellingsIdentical(t *testing.T) {
 	if len(pool.sessions) != 1 {
 		t.Errorf("pool built %d sessions for one normalized shape, want 1", len(pool.sessions))
 	}
+
+	// The identity extends to cache-key derivation: the same session spelled
+	// through RunSpec's deprecated flat aliases and through its grouped
+	// specs must canonicalize — and therefore hash — identically, so the
+	// sweep service can never compute or store one experiment twice.
+	specFlat, specGrouped := optionRunSpecs()
+	cf, err := specFlat.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := specGrouped.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cf, cg) {
+		t.Errorf("flat vs grouped RunSpec canonical forms diverged:\n%+v\n%+v", cf, cg)
+	}
+	kf, err := specFlat.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := specGrouped.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf != kg {
+		t.Errorf("flat vs grouped RunSpec keys diverged:\n%s\n%s", kf, kg)
+	}
+}
+
+// optionRunSpecs mirrors optionScenarios at the wire level: the same
+// non-default run spec spelled through the deprecated flat aliases and
+// through the grouped specs.
+func optionRunSpecs() (flat, grouped RunSpec) {
+	base := RunSpec{
+		Topo:      TopoSpec{Kind: "grid"},
+		GroupSize: 10,
+		Protocol:  "odmrp",
+		Seed:      11,
+		Mobility:  MobilitySpec{Model: "waypoint", MaxSpeed: 10},
+	}
+	base.Traffic.IntervalMs = 50 // grouped-only field (no flat alias)
+
+	flat = base
+	flat.MAC = "Ideal" // spelling is case-insensitive
+	flat.DisableCollisions = true
+	flat.ShadowingSigmaDB = 4
+	flat.PayloadLen = 128
+	flat.DataPackets = 3
+	flat.DiscoveryRounds = 1
+
+	grouped = base
+	grouped.Radio = RadioSpec{MAC: "ideal", DisableCollisions: true, ShadowingSigmaDB: 4}
+	grouped.Traffic.PayloadLen = 128
+	grouped.Traffic.DataPackets = 3
+	grouped.Traffic.DiscoveryRounds = 1
+	return flat, grouped
 }
 
 // TestNormalizeMirrorsCanonicalValues pins the merge direction: after

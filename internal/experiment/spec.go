@@ -1,0 +1,618 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtmrp/internal/channel"
+	"mtmrp/internal/fault"
+	"mtmrp/internal/mobility"
+	"mtmrp/internal/network"
+	"mtmrp/internal/rng"
+	"mtmrp/internal/sim"
+	"mtmrp/internal/topology"
+)
+
+// This file defines the wire-level, content-addressable request specs the
+// sweep service (internal/service, cmd/mtmrd) serves. A spec is plain JSON
+// describing a sweep or a single session; Canonical() reduces every
+// equivalent spelling — deprecated flat aliases vs. grouped options,
+// permuted size/protocol sets, omitted defaults vs. explicit ones — to one
+// normal form, and Key() hashes that form together with the spec, Result
+// and code versions. Because every run is a pure function of its spec
+// (bit-identical across worker counts and fresh vs. pooled sessions), two
+// specs with equal keys have byte-identical results, so the key is safe to
+// use as a cache address forever.
+
+// Spec/versioning constants folded into every cache key. Bumping any of
+// them orphans the old keys on purpose: cached results no longer describe
+// what the code would compute.
+const (
+	// SpecVersion versions the canonical spec encoding itself (field set,
+	// normalization rules). Bump on any change to Canonical() or to the
+	// canonical JSON layout.
+	SpecVersion = 1
+	// ResultSchemaVersion versions the frozen metrics.Result schema the
+	// payloads embed. The schema has been frozen since the golden tests
+	// pinned it; bump only when Result gains/changes fields.
+	ResultSchemaVersion = 1
+	// CodeVersion names the simulated behaviour. It must change whenever a
+	// code change alters any run's observable results — in practice,
+	// whenever golden tables are regenerated (last: PR 8's re-freeze).
+	CodeVersion = "pr8"
+)
+
+// Spec validation errors.
+var (
+	ErrSpecTopo     = errors.New("spec: unknown topology kind (want \"grid\" or \"random\")")
+	ErrSpecProtocol = errors.New("spec: unknown protocol")
+	ErrSpecSizes    = errors.New("spec: group sizes must be positive")
+	ErrSpecNodes    = errors.New("spec: random topology needs at least 2 nodes")
+)
+
+// ParseProtocol resolves a wire-level protocol name. Accepted spellings
+// are the canonical lower-case names plus the figure-legend strings the
+// String methods print.
+func ParseProtocol(name string) (Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "mtmrp":
+		return MTMRP, nil
+	case "mtmrp-nophs", "mtmrp w/o phs", "mtmrpnophs":
+		return MTMRPNoPHS, nil
+	case "dodmrp":
+		return DODMRP, nil
+	case "odmrp":
+		return ODMRP, nil
+	case "flooding":
+		return Flooding, nil
+	case "gmr":
+		return GMR, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrSpecProtocol, name)
+}
+
+// protocolSpecName is the canonical wire spelling of a protocol (the form
+// ParseProtocol round-trips and the one that lands in cache keys).
+func protocolSpecName(p Protocol) string {
+	switch p {
+	case MTMRP:
+		return "mtmrp"
+	case MTMRPNoPHS:
+		return "mtmrp-nophs"
+	case DODMRP:
+		return "dodmrp"
+	case ODMRP:
+		return "odmrp"
+	case Flooding:
+		return "flooding"
+	case GMR:
+		return "gmr"
+	default:
+		return fmt.Sprintf("protocol-%d", uint8(p))
+	}
+}
+
+// keyOf frames a canonical spec encoding with the version triple and the
+// spec kind, and hashes the whole frame. The frame fields are length-free
+// but '|'-separated and the canonical JSON cannot contain a bare '|' in a
+// position that would collide across kinds, so the mapping is injective.
+func keyOf(kind string, canonical []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mtmrd|spec=%d|result=%d|code=%s|%s|", SpecVersion, ResultSchemaVersion, CodeVersion, kind)
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SweepSpec is the wire form of a Figure 5/6 group-size sweep: the exact
+// Monte-Carlo study GroupSizeSweep runs, addressed by content. Zero fields
+// take the paper's defaults (sizes 5..60 step 5, 100 runs, the four
+// comparison protocols, N=4, δ=1 ms).
+type SweepSpec struct {
+	// Topo is the topology family: "grid" (Fig. 5) or "random" (Fig. 6).
+	Topo string `json:"topo"`
+	// Sizes are the multicast group sizes swept. Order and duplicates do
+	// not matter: per-cell results depend only on (size, run) — the sweep
+	// labels its rounds that way — so Canonical sorts and dedups.
+	Sizes []int `json:"sizes,omitempty"`
+	// Runs is the Monte-Carlo round count per size.
+	Runs int `json:"runs,omitempty"`
+	// Seed is the sweep's root seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Protocols names the protocols compared (see ParseProtocol). Order
+	// and duplicates do not matter: within a round every protocol draws
+	// its randomness from its own derived stream, so per-protocol cells
+	// are independent of the protocol set; Canonical sorts and dedups.
+	Protocols []string `json:"protocols,omitempty"`
+	// N and DeltaMs are the biased-backoff parameters.
+	N       int     `json:"n,omitempty"`
+	DeltaMs float64 `json:"delta_ms,omitempty"`
+}
+
+// Canonical returns the spec's normal form: defaults applied, sizes
+// sorted and deduped, protocols resolved to canonical names, sorted in
+// enum order and deduped. Two specs describing the same sweep canonicalize
+// identically, which is what makes Key a content address rather than a
+// spelling address.
+func (s SweepSpec) Canonical() (SweepSpec, error) {
+	c := SweepSpec{Topo: strings.ToLower(strings.TrimSpace(s.Topo)), Runs: s.Runs, Seed: s.Seed, N: s.N, DeltaMs: s.DeltaMs}
+	if c.Topo == "" {
+		c.Topo = "grid"
+	}
+	if c.Topo != "grid" && c.Topo != "random" {
+		return c, fmt.Errorf("%w: %q", ErrSpecTopo, s.Topo)
+	}
+	if c.Runs <= 0 {
+		c.Runs = 100
+	}
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.DeltaMs == 0 {
+		c.DeltaMs = 1
+	}
+	c.Sizes = append([]int(nil), s.Sizes...)
+	if len(c.Sizes) == 0 {
+		c.Sizes = PaperSizes()
+	}
+	sort.Ints(c.Sizes)
+	c.Sizes = dedupInts(c.Sizes)
+	if c.Sizes[0] <= 0 {
+		return c, ErrSpecSizes
+	}
+	protos, err := parseProtocolSet(s.Protocols)
+	if err != nil {
+		return c, err
+	}
+	c.Protocols = make([]string, len(protos))
+	for i, p := range protos {
+		c.Protocols[i] = protocolSpecName(p)
+	}
+	return c, nil
+}
+
+// Key canonicalizes the spec and returns its content address. Equal keys
+// guarantee byte-identical results (determinism + the versioning frame).
+func (s SweepSpec) Key() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	enc, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return keyOf("sweep", enc), nil
+}
+
+// SweepConfig converts a canonical spec into the GroupSizeSweep driver
+// configuration (engine knobs are the caller's: workers, context, progress
+// are performance/operational concerns outside the content address).
+func (s SweepSpec) SweepConfig() (SweepConfig, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return SweepConfig{}, err
+	}
+	kind := GridTopo
+	if c.Topo == "random" {
+		kind = RandomTopo
+	}
+	protos, err := parseProtocolSet(c.Protocols)
+	if err != nil {
+		return SweepConfig{}, err
+	}
+	return SweepConfig{
+		Topo: kind, Sizes: c.Sizes, Runs: c.Runs, Seed: c.Seed,
+		Protocols: protos, N: c.N, Delta: msToTime(c.DeltaMs),
+	}, nil
+}
+
+// Split partitions a sweep into one single-size sub-sweep per group size.
+// The sweep engine labels every round "round-<topo>-<size>-<run>" — a pure
+// function of (size, run), independent of the size set — so each sub-sweep
+// computes exactly the cells the full sweep would, bit for bit
+// (TestSweepSplitComposes pins this). Sub-sweeps hash to their own keys,
+// which is the shardable job-ID scheme: a front-end fans the sub-specs out
+// to the instances owning their key ranges and composes the cells.
+func (s SweepSpec) Split() ([]SweepSpec, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepSpec, len(c.Sizes))
+	for i, size := range c.Sizes {
+		sub := c
+		sub.Sizes = []int{size}
+		out[i] = sub
+	}
+	return out, nil
+}
+
+// TopoSpec describes the deployment of a RunSpec. Kind "grid" is the
+// paper's fixed 10x10 grid (the other fields must be zero after
+// canonicalization — the grid is fully deterministic); "random" draws a
+// connected uniform deployment of Nodes nodes from Seed, defaulting to the
+// paper's 200-node field and scaling the side to keep the paper's density
+// when only Nodes is given.
+type TopoSpec struct {
+	Kind  string  `json:"kind"`
+	Nodes int     `json:"nodes,omitempty"`
+	Side  float64 `json:"side,omitempty"`
+	Range float64 `json:"range,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+}
+
+// RadioSpec is the wire form of RadioOptions. MAC is "csma" or "ideal".
+type RadioSpec struct {
+	MAC               string  `json:"mac,omitempty"`
+	DisableCollisions bool    `json:"disable_collisions,omitempty"`
+	ShadowingSigmaDB  float64 `json:"shadowing_sigma_db,omitempty"`
+}
+
+// TrafficSpec is the wire form of TrafficOptions (times in milliseconds).
+type TrafficSpec struct {
+	PayloadLen        int     `json:"payload_len,omitempty"`
+	DataPackets       int     `json:"data_packets,omitempty"`
+	DiscoveryRounds   int     `json:"discovery_rounds,omitempty"`
+	IntervalMs        float64 `json:"interval_ms,omitempty"`
+	RefreshIntervalMs float64 `json:"refresh_interval_ms,omitempty"`
+}
+
+// FaultsSpec is the wire form of the fault-injection knobs. Instead of an
+// explicit schedule (too bulky and too easy to spell two ways), the spec
+// carries the FaultSweep plan parameters; the schedule is drawn from the
+// run's "faults" substream, protecting the source — a pure function of
+// (spec, seed), exactly like the sweep driver.
+type FaultsSpec struct {
+	FailFraction      float64 `json:"fail_fraction,omitempty"`
+	StartMs           float64 `json:"start_ms,omitempty"`
+	WindowMs          float64 `json:"window_ms,omitempty"`
+	DowntimeMs        float64 `json:"downtime_ms,omitempty"`
+	Loss              bool    `json:"loss,omitempty"`
+	ForwarderExpiryMs float64 `json:"forwarder_expiry_ms,omitempty"`
+}
+
+// active reports whether the spec injects anything.
+func (f FaultsSpec) active() bool {
+	return f.FailFraction > 0 || f.Loss || f.ForwarderExpiryMs > 0
+}
+
+// MobilitySpec is the wire form of MobilityOptions. Model is "",
+// "waypoint" or "rpgm"; recorded traces are not servable (they are bulk
+// data, not content-addressable specs).
+type MobilitySpec struct {
+	Model    string  `json:"model,omitempty"`
+	MinSpeed float64 `json:"min_speed,omitempty"`
+	MaxSpeed float64 `json:"max_speed,omitempty"`
+	PauseMs  float64 `json:"pause_ms,omitempty"`
+	StepMs   float64 `json:"step_ms,omitempty"`
+	Groups   int     `json:"groups,omitempty"`
+}
+
+// RunSpec is the wire form of one complete session: topology, receiver
+// draw, protocol, backoff parameters and the option groups. The deprecated
+// flat Scenario aliases are accepted at the wire level too and merge into
+// the groups during canonicalization with exactly Scenario.normalize()'s
+// precedence (group wins, booleans OR), so both spellings hash to the same
+// key and can never double-compute or double-store a result.
+type RunSpec struct {
+	Topo TopoSpec `json:"topo"`
+	// GroupSize receivers are drawn from the spec seed's "receivers"
+	// substream (source pinned at node 0, like every figure driver).
+	GroupSize int     `json:"group_size,omitempty"`
+	Protocol  string  `json:"protocol,omitempty"`
+	N         int     `json:"n,omitempty"`
+	DeltaMs   float64 `json:"delta_ms,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+
+	Radio    RadioSpec    `json:"radio,omitempty"`
+	Traffic  TrafficSpec  `json:"traffic,omitempty"`
+	Faults   FaultsSpec   `json:"faults,omitempty"`
+	Mobility MobilitySpec `json:"mobility,omitempty"`
+
+	// Deprecated flat aliases, mirroring Scenario's. Cleared by Canonical
+	// after merging, so they never reach the hash.
+	MAC               string  `json:"mac,omitempty"`
+	DisableCollisions bool    `json:"disable_collisions,omitempty"`
+	ShadowingSigmaDB  float64 `json:"shadowing_sigma_db,omitempty"`
+	PayloadLen        int     `json:"payload_len,omitempty"`
+	DataPackets       int     `json:"data_packets,omitempty"`
+	DiscoveryRounds   int     `json:"discovery_rounds,omitempty"`
+}
+
+// Canonical returns the run spec's normal form: flat aliases merged into
+// the groups (group wins, booleans OR — Scenario.normalize()'s exact
+// precedence) and then cleared, defaults applied, names lower-cased. The
+// canonical form is what Key hashes and what result payloads echo back.
+func (s RunSpec) Canonical() (RunSpec, error) {
+	c := s
+
+	// Topology normal form.
+	c.Topo.Kind = strings.ToLower(strings.TrimSpace(c.Topo.Kind))
+	switch c.Topo.Kind {
+	case "", "grid":
+		// The grid is one fixed deployment: no free parameters survive.
+		c.Topo = TopoSpec{Kind: "grid"}
+	case "random":
+		if c.Topo.Nodes == 0 {
+			c.Topo.Nodes = 200
+		}
+		if c.Topo.Nodes < 2 {
+			return c, ErrSpecNodes
+		}
+		if c.Topo.Range == 0 {
+			c.Topo.Range = 40
+		}
+		if c.Topo.Side == 0 {
+			c.Topo.Side = topology.ScaledField(c.Topo.Nodes)
+		}
+	default:
+		return c, fmt.Errorf("%w: %q", ErrSpecTopo, s.Topo.Kind)
+	}
+
+	// Protocol and backoff parameters.
+	if c.Protocol == "" {
+		c.Protocol = protocolSpecName(MTMRP)
+	}
+	p, err := ParseProtocol(c.Protocol)
+	if err != nil {
+		return c, err
+	}
+	c.Protocol = protocolSpecName(p)
+	if c.GroupSize <= 0 {
+		c.GroupSize = 20
+	}
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.DeltaMs == 0 {
+		c.DeltaMs = 1
+	}
+
+	// Merge the deprecated flat aliases into the groups, mirroring
+	// Scenario.normalize(): a flat value fills a zero group field, the
+	// boolean ORs, then the aliases are cleared so only the canonical
+	// grouped spelling reaches the hash.
+	c.MAC = strings.ToLower(strings.TrimSpace(c.MAC))
+	c.Radio.MAC = strings.ToLower(strings.TrimSpace(c.Radio.MAC))
+	if c.Radio.MAC == "" {
+		c.Radio.MAC = c.MAC
+	}
+	if c.Radio.MAC == "" {
+		c.Radio.MAC = "csma"
+	}
+	if _, err := parseMAC(c.Radio.MAC); err != nil {
+		return c, err
+	}
+	c.Radio.DisableCollisions = c.Radio.DisableCollisions || c.DisableCollisions
+	if c.Radio.ShadowingSigmaDB == 0 {
+		c.Radio.ShadowingSigmaDB = c.ShadowingSigmaDB
+	}
+	if c.Traffic.PayloadLen == 0 {
+		c.Traffic.PayloadLen = c.PayloadLen
+	}
+	if c.Traffic.DataPackets == 0 {
+		c.Traffic.DataPackets = c.DataPackets
+	}
+	if c.Traffic.DiscoveryRounds == 0 {
+		c.Traffic.DiscoveryRounds = c.DiscoveryRounds
+	}
+	c.MAC, c.DisableCollisions, c.ShadowingSigmaDB = "", false, 0
+	c.PayloadLen, c.DataPackets, c.DiscoveryRounds = 0, 0, 0
+
+	// Traffic defaults (normalize()'s).
+	if c.Traffic.PayloadLen == 0 {
+		c.Traffic.PayloadLen = 64
+	}
+	if c.Traffic.DataPackets == 0 {
+		c.Traffic.DataPackets = 1
+	}
+	if c.Traffic.DiscoveryRounds == 0 {
+		c.Traffic.DiscoveryRounds = 2
+	}
+
+	// Fault-plan defaults only apply when something is injected, so an
+	// all-zero group stays exactly zero (the pristine paper setting).
+	if c.Faults.FailFraction > 0 {
+		if c.Faults.StartMs == 0 {
+			c.Faults.StartMs = 1200
+		}
+		if c.Faults.WindowMs == 0 {
+			c.Faults.WindowMs = 800
+		}
+	} else {
+		c.Faults.StartMs, c.Faults.WindowMs, c.Faults.DowntimeMs = 0, 0, 0
+	}
+
+	// Mobility normal form, mirroring normalize()'s active-only defaults.
+	c.Mobility.Model = strings.ToLower(strings.TrimSpace(c.Mobility.Model))
+	switch c.Mobility.Model {
+	case "", "none", "static":
+		c.Mobility = MobilitySpec{}
+	case "waypoint", "random-waypoint", "rwp":
+		c.Mobility.Model = "waypoint"
+	case "rpgm":
+	default:
+		return c, fmt.Errorf("spec: unknown mobility model %q", s.Mobility.Model)
+	}
+	if c.Mobility.Model != "" {
+		if c.Mobility.MaxSpeed <= 0 {
+			return c, ErrMobilitySpeed
+		}
+		if c.Mobility.StepMs <= 0 {
+			c.Mobility.StepMs = float64(mobility.DefaultStep) / float64(sim.Millisecond)
+		}
+		if c.Mobility.Groups <= 0 {
+			c.Mobility.Groups = 4
+		}
+		if c.Mobility.MinSpeed <= 0 {
+			c.Mobility.MinSpeed = c.Mobility.MaxSpeed / 10
+		}
+		if c.Traffic.IntervalMs <= 0 {
+			return c, ErrMobilityUnpaced
+		}
+	}
+	return c, nil
+}
+
+// Key canonicalizes the run spec and returns its content address.
+func (s RunSpec) Key() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	enc, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	return keyOf("run", enc), nil
+}
+
+// Scenario materialises the canonical spec into a runnable Scenario plus
+// its topology. Everything stochastic — the random deployment, the
+// receiver draw, the fault schedule, the session seed — derives from the
+// spec's seeds through fixed substream names, so the whole run is a pure
+// function of the canonical spec (the property the cache key certifies).
+func (s RunSpec) Scenario() (Scenario, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return Scenario{}, err
+	}
+	var topo *topology.Topology
+	if c.Topo.Kind == "grid" {
+		topo = topology.PaperGrid()
+	} else {
+		topo, err = topology.RandomConnected(c.Topo.Nodes, c.Topo.Side, c.Topo.Range,
+			rng.New(c.Topo.Seed).Derive("topology"), 100)
+		if err != nil {
+			return Scenario{}, err
+		}
+	}
+	root := rng.New(c.Seed).Derive("mtmrd-run")
+	rcv, err := topo.PickReceivers(0, c.GroupSize, root.Derive("receivers"))
+	if err != nil {
+		return Scenario{}, err
+	}
+	p, err := ParseProtocol(c.Protocol)
+	if err != nil {
+		return Scenario{}, err
+	}
+	mac, err := parseMAC(c.Radio.MAC)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc := Scenario{
+		Topo: topo, Source: 0, Receivers: rcv, Protocol: p,
+		N: c.N, Delta: msToTime(c.DeltaMs),
+		Seed: root.Derive("run").Uint64(),
+		Radio: RadioOptions{
+			MAC:               mac,
+			DisableCollisions: c.Radio.DisableCollisions,
+			ShadowingSigmaDB:  c.Radio.ShadowingSigmaDB,
+		},
+		Traffic: TrafficOptions{
+			PayloadLen:      c.Traffic.PayloadLen,
+			DataPackets:     c.Traffic.DataPackets,
+			DiscoveryRounds: c.Traffic.DiscoveryRounds,
+			Interval:        msToTime(c.Traffic.IntervalMs),
+			RefreshInterval: msToTime(c.Traffic.RefreshIntervalMs),
+		},
+	}
+	if c.Faults.active() {
+		sc.Faults.ForwarderExpiry = msToTime(c.Faults.ForwarderExpiryMs)
+		if c.Faults.FailFraction > 0 {
+			sc.Faults.Schedule = fault.Plan(fault.PlanConfig{
+				Nodes:        topo.N(),
+				Protect:      []int{0},
+				FailFraction: c.Faults.FailFraction,
+				Start:        msToTime(c.Faults.StartMs),
+				Window:       msToTime(c.Faults.WindowMs),
+				Downtime:     msToTime(c.Faults.DowntimeMs),
+			}, root.Derive("faults"))
+		}
+		if c.Faults.Loss {
+			loss := channel.DefaultLossConfig()
+			sc.Faults.Loss = &loss
+		}
+	}
+	if c.Mobility.Model != "" {
+		model := mobility.RandomWaypoint
+		if c.Mobility.Model == "rpgm" {
+			model = mobility.RPGM
+		}
+		sc.Mobility = MobilityOptions{
+			Model:    model,
+			MinSpeed: c.Mobility.MinSpeed,
+			MaxSpeed: c.Mobility.MaxSpeed,
+			Pause:    msToTime(c.Mobility.PauseMs),
+			Step:     msToTime(c.Mobility.StepMs),
+			Groups:   c.Mobility.Groups,
+		}
+	}
+	return sc, nil
+}
+
+// RunFromSpec executes the session a canonical run spec describes, through
+// a pooled session when a pool is supplied (bit-identical either way).
+func RunFromSpec(s RunSpec, pool *SessionPool) (*Outcome, error) {
+	sc, err := s.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	if pool != nil {
+		return pool.Run(sc)
+	}
+	return Run(sc)
+}
+
+func parseMAC(name string) (network.MACKind, error) {
+	switch name {
+	case "", "csma":
+		return network.MACCSMA, nil
+	case "ideal":
+		return network.MACIdeal, nil
+	}
+	return 0, fmt.Errorf("spec: unknown MAC %q", name)
+}
+
+// parseProtocolSet resolves a protocol name list to a deduped slice in
+// enum order (nil/empty = the paper's four comparison protocols).
+func parseProtocolSet(names []string) ([]Protocol, error) {
+	if len(names) == 0 {
+		return append([]Protocol(nil), AllProtocols...), nil
+	}
+	var seen [8]bool
+	var out []Protocol
+	for _, name := range names {
+		p, err := ParseProtocol(name)
+		if err != nil {
+			return nil, err
+		}
+		seen[p] = true
+	}
+	for p := Protocol(0); int(p) < len(seen); p++ {
+		if seen[p] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// msToTime converts a wire-level millisecond float to virtual time.
+func msToTime(ms float64) sim.Time {
+	return sim.Time(ms * float64(sim.Millisecond))
+}
+
+func dedupInts(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

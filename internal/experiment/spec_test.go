@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSweepSpecCanonicalization checks that every equivalent spelling of a
+// sweep spec — permuted and duplicated size/protocol sets, legend-style
+// protocol names, defaults spelled out vs. omitted — lands on one
+// canonical form and one key, while actual parameter changes do not.
+func TestSweepSpecCanonicalization(t *testing.T) {
+	base := SweepSpec{Topo: "grid", Sizes: []int{5, 10, 15}, Runs: 7, Seed: 3,
+		Protocols: []string{"mtmrp", "odmrp"}}
+	baseKey, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []SweepSpec{
+		{Topo: "Grid", Sizes: []int{15, 5, 10}, Runs: 7, Seed: 3,
+			Protocols: []string{"odmrp", "mtmrp"}}, // permuted, case-folded
+		{Topo: "grid", Sizes: []int{5, 10, 10, 15, 5}, Runs: 7, Seed: 3,
+			Protocols: []string{"mtmrp", "ODMRP", "mtmrp"}}, // duplicated
+		{Sizes: []int{5, 10, 15}, Runs: 7, Seed: 3,
+			Protocols: []string{"mtmrp", "odmrp"}}, // topo default spelled out above
+		{Topo: "grid", Sizes: []int{5, 10, 15}, Runs: 7, Seed: 3, N: 4, DeltaMs: 1,
+			Protocols: []string{"mtmrp", "odmrp"}}, // defaults explicit
+	}
+	for i, s := range same {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		if k != baseKey {
+			t.Errorf("spelling %d hashed to %s, want %s", i, k, baseKey)
+		}
+	}
+	different := []SweepSpec{
+		{Topo: "random", Sizes: []int{5, 10, 15}, Runs: 7, Seed: 3, Protocols: []string{"mtmrp", "odmrp"}},
+		{Topo: "grid", Sizes: []int{5, 10, 15}, Runs: 8, Seed: 3, Protocols: []string{"mtmrp", "odmrp"}},
+		{Topo: "grid", Sizes: []int{5, 10, 15}, Runs: 7, Seed: 4, Protocols: []string{"mtmrp", "odmrp"}},
+		{Topo: "grid", Sizes: []int{5, 10, 15}, Runs: 7, Seed: 3, Protocols: []string{"mtmrp"}},
+		{Topo: "grid", Sizes: []int{5, 10}, Runs: 7, Seed: 3, Protocols: []string{"mtmrp", "odmrp"}},
+		{Topo: "grid", Sizes: []int{5, 10, 15}, Runs: 7, Seed: 3, N: 6, Protocols: []string{"mtmrp", "odmrp"}},
+	}
+	for i, s := range different {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if k == baseKey {
+			t.Errorf("variant %d collided with the base key", i)
+		}
+	}
+
+	// The default sweep is the paper's Figure-5 study.
+	c, err := SweepSpec{}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SweepSpec{Topo: "grid", Sizes: PaperSizes(), Runs: 100, N: 4, DeltaMs: 1,
+		Protocols: []string{"mtmrp", "mtmrp-nophs", "dodmrp", "odmrp"}}
+	if !reflect.DeepEqual(c, want) {
+		t.Errorf("zero-spec canonical form = %+v, want %+v", c, want)
+	}
+}
+
+// TestSpecValidation checks the rejection paths.
+func TestSpecValidation(t *testing.T) {
+	if _, err := (SweepSpec{Topo: "torus"}).Key(); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := (SweepSpec{Protocols: []string{"ospf"}}).Key(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := (SweepSpec{Sizes: []int{0, 5}}).Key(); err == nil {
+		t.Error("non-positive group size accepted")
+	}
+	if _, err := (RunSpec{Topo: TopoSpec{Kind: "random", Nodes: 1}}).Key(); err == nil {
+		t.Error("1-node random topology accepted")
+	}
+	if _, err := (RunSpec{Mobility: MobilitySpec{Model: "waypoint", MaxSpeed: 5}}).Key(); err == nil {
+		t.Error("mobile spec without a traffic interval accepted")
+	}
+	if _, err := (RunSpec{MAC: "tdma"}).Key(); err == nil {
+		t.Error("unknown MAC accepted")
+	}
+}
+
+// TestSpecKindsNeverCollide pins the frame injectivity: a sweep spec and a
+// run spec can never share a key (the kind is part of the hashed frame).
+func TestSpecKindsNeverCollide(t *testing.T) {
+	sk, err := SweepSpec{}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := RunSpec{}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk == rk {
+		t.Fatal("sweep and run specs hashed to the same key")
+	}
+}
+
+// TestSweepSplitComposes pins the shardable-job property: the single-size
+// sub-sweeps of Split() compute exactly the cells of the full sweep, bit
+// for bit, because round labels depend only on (size, run).
+func TestSweepSplitComposes(t *testing.T) {
+	spec := SweepSpec{Topo: "grid", Sizes: []int{10, 5}, Runs: 3, Seed: 9,
+		Protocols: []string{"mtmrp", "odmrp"}}
+	cfg, err := spec.SweepConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := GroupSizeSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := spec.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("split into %d sub-sweeps, want 2", len(subs))
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, sub := range subs {
+		subKey, err := sub.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullKey, _ := spec.Key()
+		if subKey == fullKey {
+			t.Errorf("sub-sweep %d shares the full sweep's key", si)
+		}
+		subCfg, err := sub.SweepConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subCfg.Sizes) != 1 || subCfg.Sizes[0] != canon.Sizes[si] {
+			t.Fatalf("sub-sweep %d sizes = %v, want [%d]", si, subCfg.Sizes, canon.Sizes[si])
+		}
+		part, err := GroupSizeSweep(subCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range cfg.Protocols {
+			if !reflect.DeepEqual(part.Summary[p][0], full.Summary[p][si]) {
+				t.Errorf("%v size %d: sub-sweep cells diverged from the full sweep",
+					p, canon.Sizes[si])
+			}
+		}
+	}
+}
+
+// TestRunFromSpecDeterministic pins the property the cache key certifies:
+// a run spec is a pure function — fresh vs. pooled execution and repeated
+// materialisation all yield identical results, and the stochastic pieces
+// (receiver draw, fault schedule) are reproducible from the spec alone.
+func TestRunFromSpecDeterministic(t *testing.T) {
+	spec := RunSpec{
+		Topo: TopoSpec{Kind: "random", Nodes: 80, Seed: 5}, GroupSize: 12,
+		Protocol: "mtmrp", Seed: 21,
+		Faults:  FaultsSpec{FailFraction: 0.05, Loss: true},
+		Traffic: TrafficSpec{DataPackets: 3, IntervalMs: 50},
+	}
+	a, err := RunFromSpec(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFromSpec(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Result, b.Result) || !reflect.DeepEqual(a.Robustness, b.Robustness) {
+		t.Fatal("two materialisations of the same spec diverged")
+	}
+	c, err := RunFromSpec(spec, NewSessionPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Result, c.Result) || !reflect.DeepEqual(a.Robustness, c.Robustness) {
+		t.Fatal("pooled execution diverged from fresh")
+	}
+	sc1, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := spec.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc1.Receivers, sc2.Receivers) {
+		t.Error("receiver draw not reproducible from the spec")
+	}
+	if !reflect.DeepEqual(sc1.Faults.Schedule, sc2.Faults.Schedule) {
+		t.Error("fault schedule not reproducible from the spec")
+	}
+	if sc1.Seed != sc2.Seed {
+		t.Error("session seed not reproducible from the spec")
+	}
+}
+
+// goldenSpecs are the frozen key fixtures of testdata/golden_keys.json.
+// They cover both kinds, both topology families, alias spellings, faults
+// and mobility — any accidental change to canonicalization, to the
+// canonical JSON layout, or to the version constants shifts these hashes
+// and fails TestGoldenKeys.
+func goldenSpecs() (sweeps map[string]SweepSpec, runs map[string]RunSpec) {
+	_, mobileGrouped := optionRunSpecs()
+	sweeps = map[string]SweepSpec{
+		"fig5-default":    {},
+		"fig6-random":     {Topo: "random", Seed: 7},
+		"small-grid-pair": {Sizes: []int{20, 10}, Runs: 5, Protocols: []string{"ODMRP", "mtmrp"}},
+		"tuned-n8-delta2": {N: 8, DeltaMs: 2, Seed: 1},
+		"flooding-vs-gmr": {Protocols: []string{"flooding", "gmr"}, Runs: 10},
+	}
+	runs = map[string]RunSpec{
+		"default":       {},
+		"mobile-ideal":  mobileGrouped,
+		"faulty-random": {Topo: TopoSpec{Kind: "random", Nodes: 100, Seed: 2}, GroupSize: 15, Seed: 3, Faults: FaultsSpec{FailFraction: 0.1, Loss: true}, Traffic: TrafficSpec{DataPackets: 4, IntervalMs: 40}},
+	}
+	return sweeps, runs
+}
+
+// TestGoldenKeys compares every fixture's derived key against the frozen
+// vectors. Regenerate with MTMRP_UPDATE_GOLDEN_KEYS=1 go test — but only
+// after bumping CodeVersion/SpecVersion: a silent re-freeze would let
+// stale cached results survive a behaviour change.
+func TestGoldenKeys(t *testing.T) {
+	sweeps, runs := goldenSpecs()
+	got := struct {
+		SpecVersion         int               `json:"spec_version"`
+		ResultSchemaVersion int               `json:"result_schema_version"`
+		CodeVersion         string            `json:"code_version"`
+		Sweeps              map[string]string `json:"sweeps"`
+		Runs                map[string]string `json:"runs"`
+	}{
+		SpecVersion: SpecVersion, ResultSchemaVersion: ResultSchemaVersion,
+		CodeVersion: CodeVersion,
+		Sweeps:      map[string]string{}, Runs: map[string]string{},
+	}
+	for name, s := range sweeps {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("sweep %q: %v", name, err)
+		}
+		got.Sweeps[name] = k
+	}
+	for name, s := range runs {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("run %q: %v", name, err)
+		}
+		got.Runs[name] = k
+	}
+
+	path := filepath.Join("testdata", "golden_keys.json")
+	if os.Getenv("MTMRP_UPDATE_GOLDEN_KEYS") != "" {
+		enc, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-froze %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden vectors (regenerate with MTMRP_UPDATE_GOLDEN_KEYS=1): %v", err)
+	}
+	var want struct {
+		SpecVersion         int               `json:"spec_version"`
+		ResultSchemaVersion int               `json:"result_schema_version"`
+		CodeVersion         string            `json:"code_version"`
+		Sweeps              map[string]string `json:"sweeps"`
+		Runs                map[string]string `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.SpecVersion != got.SpecVersion || want.ResultSchemaVersion != got.ResultSchemaVersion ||
+		want.CodeVersion != got.CodeVersion {
+		t.Errorf("version triple changed: golden (%d,%d,%s), code (%d,%d,%s) — keys must be re-frozen deliberately",
+			want.SpecVersion, want.ResultSchemaVersion, want.CodeVersion,
+			got.SpecVersion, got.ResultSchemaVersion, got.CodeVersion)
+	}
+	if !reflect.DeepEqual(want.Sweeps, got.Sweeps) {
+		t.Errorf("sweep keys drifted from the golden vectors:\ngolden: %v\nderived: %v", want.Sweeps, got.Sweeps)
+	}
+	if !reflect.DeepEqual(want.Runs, got.Runs) {
+		t.Errorf("run keys drifted from the golden vectors:\ngolden: %v\nderived: %v", want.Runs, got.Runs)
+	}
+}

@@ -98,10 +98,10 @@ const slabBits = 6
 // session keys (a handful per run, scanned linearly).
 type Table struct {
 	slabs  []*[1 << slabBits]Entry
-	nslots int     // slots handed out; slot s lives at slabs[s>>slabBits][s&mask]
-	order  []int32 // slots sorted by entry id — ascending-id iteration
+	nslots int        // slots handed out; slot s lives at slabs[s>>slabBits][s&mask]
+	order  []int32    // slots sorted by entry id — ascending-id iteration
 	idx    sparse.Map // node id -> slot (insert-only: slot bindings survive recycling)
-	n      int     // entries currently present
+	n      int        // entries currently present
 
 	expiry  sim.Time // entries older than this are recycled; 0 = never
 	expiry0 sim.Time // the NewTable value, restored by Reset

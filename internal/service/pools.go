@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sync"
+
+	"mtmrp/internal/experiment"
+	"mtmrp/internal/topology"
+)
+
+// PoolBank owns the service's long-lived SessionPools. A SessionPool is
+// single-goroutine, so the bank loans pools out — one per sweep-engine
+// worker for the duration of one computation — and takes them back when
+// the sweep finishes. Because the pools persist across requests, the
+// sessions inside them stay warm: a miss right after boot (or after a
+// hundred other sweeps of the same shape) resets sessions in place instead
+// of rebuilding simulator, channel and protocol state from scratch.
+type PoolBank struct {
+	mu      sync.Mutex
+	free    []*experiment.SessionPool
+	created int
+}
+
+// loan pops a free pool, building a fresh one when the bank is empty (the
+// bank never blocks: worst case a burst of concurrent sweeps cold-starts
+// extra pools, which return to the bank warm).
+func (b *PoolBank) loan() *experiment.SessionPool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n := len(b.free); n > 0 {
+		p := b.free[n-1]
+		b.free = b.free[:n-1]
+		return p
+	}
+	b.created++
+	return experiment.NewSessionPool()
+}
+
+// put returns a loaned pool to the bank.
+func (b *PoolBank) put(p *experiment.SessionPool) {
+	b.mu.Lock()
+	b.free = append(b.free, p)
+	b.mu.Unlock()
+}
+
+// WorkerState returns a sweep-engine WorkerState constructor that loans
+// pools from the bank, plus a release to call after the sweep completes
+// (sweep.Run joins its workers before returning, so every loaned pool is
+// quiescent by then).
+func (b *PoolBank) WorkerState() (state func() any, release func()) {
+	var mu sync.Mutex
+	var loaned []*experiment.SessionPool
+	state = func() any {
+		p := b.loan()
+		mu.Lock()
+		loaned = append(loaned, p)
+		mu.Unlock()
+		return p
+	}
+	release = func() {
+		mu.Lock()
+		ps := loaned
+		loaned = nil
+		mu.Unlock()
+		b.mu.Lock()
+		b.free = append(b.free, ps...)
+		b.mu.Unlock()
+	}
+	return state, release
+}
+
+// Size reports free and total pool counts.
+func (b *PoolBank) Size() (free, created int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.free), b.created
+}
+
+// Prewarm stocks the bank with n pools, each warmed with one tiny session
+// per comparison protocol on the paper grid — exactly the session shapes a
+// Figure-5 sweep reuses — so the first real miss after boot finds fully
+// constructed sessions and only resets them. Purely a latency optimisation:
+// results are bit-identical with a cold bank.
+func (b *PoolBank) Prewarm(n int) error {
+	topo := topology.PaperGrid()
+	grid := experiment.LinkTableFor(topo)
+	warmed := make([]*experiment.SessionPool, 0, n)
+	for i := 0; i < n; i++ {
+		p := experiment.NewSessionPool()
+		for _, proto := range experiment.AllProtocols {
+			if _, err := p.Run(experiment.Scenario{
+				Topo: topo, Source: 0, Receivers: []int{1},
+				Protocol: proto, Seed: 1, Links: grid,
+			}); err != nil {
+				return err
+			}
+		}
+		warmed = append(warmed, p)
+	}
+	b.mu.Lock()
+	b.free = append(b.free, warmed...)
+	b.created += n
+	b.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package service is the repository's serving layer: a long-running sweep
+// service (cmd/mtmrd) that canonicalizes and hashes incoming Scenario/sweep
+// specs (internal/experiment's spec layer), serves repeats from an
+// in-memory LRU backed by an append-only on-disk result store, and
+// schedules misses on a worker pool of pre-warmed session pools with
+// singleflight deduplication, streaming progress and graceful drain.
+// Determinism makes every result infinitely cacheable: a key certifies the
+// bytes, so a hit is a map lookup where a miss is a Monte-Carlo sweep.
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Store errors.
+var (
+	// ErrNotFound reports a key with no stored result.
+	ErrNotFound = errors.New("service: result not in store")
+	// ErrCorrupt reports a stored record whose checksum no longer matches
+	// its bytes. The service treats it as a miss and recomputes; the fresh
+	// append supersedes the bad record.
+	ErrCorrupt = errors.New("service: stored result corrupt")
+)
+
+// storeMagic opens every store file; storeVersion versions the record
+// layout.
+const (
+	storeMagic   = "MTMRDST"
+	storeVersion = byte(1)
+)
+
+// recHeaderLen is the fixed per-record prefix: key length and payload
+// length, little-endian u32 each. The trailer is a u32 CRC32 (IEEE) over
+// key+payload.
+const recHeaderLen = 8
+
+// maxRecordLen bounds a single record (key + payload) so a corrupt length
+// field cannot make Open attempt a multi-GB read.
+const maxRecordLen = 1 << 30
+
+// storeRec locates the latest record for a key.
+type storeRec struct {
+	off  int64 // file offset of the record header
+	klen uint32
+	plen uint32
+}
+
+// Store is the append-only on-disk result store: one file of
+// length-prefixed, checksummed (key, payload) records. Appends only ever
+// grow the file; a rewritten key simply appends a newer record and the
+// index points at the latest. On open, a truncated tail (a crash mid-
+// append) is detected and cut; per-record checksums are verified on read,
+// so silent bit rot surfaces as ErrCorrupt instead of a wrong result.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	index map[string]storeRec
+	size  int64
+
+	appends uint64
+	corrupt uint64
+}
+
+// OpenStore opens (or creates) the store at path and rebuilds the key
+// index by scanning the records. A malformed tail — truncated record,
+// impossible length — is truncated away so the store reopens cleanly after
+// a crash; everything before it is preserved.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, index: make(map[string]storeRec)}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load scans the file, rebuilding the index and truncating a bad tail.
+func (s *Store) load() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	header := []byte(storeMagic + string(storeVersion))
+	if info.Size() == 0 {
+		if _, err := s.f.Write(header); err != nil {
+			return err
+		}
+		s.size = int64(len(header))
+		return nil
+	}
+	got := make([]byte, len(header))
+	if _, err := io.ReadFull(s.f, got); err != nil || string(got) != string(header) {
+		return fmt.Errorf("service: %s is not a result store (bad header)", s.path)
+	}
+	off := int64(len(header))
+	var hdr [recHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
+			// Clean EOF ends the scan; a partial header is a torn append.
+			break
+		}
+		klen := binary.LittleEndian.Uint32(hdr[0:4])
+		plen := binary.LittleEndian.Uint32(hdr[4:8])
+		if klen == 0 || int64(klen)+int64(plen) > maxRecordLen {
+			break // impossible lengths: treat as torn tail
+		}
+		total := int64(klen) + int64(plen) + 4
+		if off+recHeaderLen+total > info.Size() {
+			break // record extends past EOF: torn tail
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(s.f, key); err != nil {
+			break
+		}
+		// Skip payload + CRC; Get validates the checksum lazily so opening
+		// a large store stays O(records), not O(bytes hashed).
+		if _, err := s.f.Seek(int64(plen)+4, io.SeekCurrent); err != nil {
+			return err
+		}
+		s.index[string(key)] = storeRec{off: off, klen: klen, plen: plen}
+		off += recHeaderLen + total
+	}
+	if off != info.Size() {
+		if err := s.f.Truncate(off); err != nil {
+			return err
+		}
+	}
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	s.size = off
+	return nil
+}
+
+// Get returns the latest stored payload for key. ErrNotFound when absent;
+// ErrCorrupt when the record's checksum fails (the caller recomputes and
+// re-appends, superseding the bad record).
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	buf := make([]byte, int64(rec.klen)+int64(rec.plen)+4)
+	if _, err := s.f.ReadAt(buf, rec.off+recHeaderLen); err != nil {
+		return nil, err
+	}
+	body := buf[:rec.klen+rec.plen]
+	want := binary.LittleEndian.Uint32(buf[len(body):])
+	if crc32.ChecksumIEEE(body) != want || string(body[:rec.klen]) != key {
+		s.corrupt++
+		return nil, ErrCorrupt
+	}
+	return body[rec.klen:], nil
+}
+
+// Append stores a payload for key. The record is written with a single
+// Write call after the in-memory assembly, so a crash can only tear the
+// tail record — which load cuts on the next open.
+func (s *Store) Append(key string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := make([]byte, recHeaderLen+len(key)+len(payload)+4)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	copy(rec[recHeaderLen:], key)
+	copy(rec[recHeaderLen+len(key):], payload)
+	crc := crc32.ChecksumIEEE(rec[recHeaderLen : recHeaderLen+len(key)+len(payload)])
+	binary.LittleEndian.PutUint32(rec[len(rec)-4:], crc)
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return err
+	}
+	s.index[key] = storeRec{off: s.size, klen: uint32(len(key)), plen: uint32(len(payload))}
+	s.size += int64(len(rec))
+	s.appends++
+	return nil
+}
+
+// Len returns the number of distinct keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Size returns the store file's byte size.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Stats returns the append and corrupt-read counters.
+func (s *Store) Stats() (appends, corrupt uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appends, s.corrupt
+}
+
+// Close syncs and closes the store file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

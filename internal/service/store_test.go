@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.store")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, path := tempStore(t)
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Append("a", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("b", []byte("payload-b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil || string(got) != "payload-a" {
+		t.Fatalf("Get(a) = %q, %v", got, err)
+	}
+
+	// Latest-wins on re-append: the file only grows, the index moves.
+	before := s.Size()
+	if err := s.Append("a", []byte("payload-a2")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() <= before {
+		t.Error("re-append did not grow the file")
+	}
+	if got, _ := s.Get("a"); string(got) != "payload-a2" {
+		t.Errorf("Get(a) after re-append = %q", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 distinct keys", s.Len())
+	}
+
+	// Reopen: index rebuilt from the records.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, _ := s2.Get("a"); string(got) != "payload-a2" {
+		t.Errorf("reopened Get(a) = %q", got)
+	}
+	if got, _ := s2.Get("b"); string(got) != "payload-b" {
+		t.Errorf("reopened Get(b) = %q", got)
+	}
+}
+
+func TestStoreTornTailRecovery(t *testing.T) {
+	s, path := tempStore(t)
+	if err := s.Append("first", bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("second", bytes.Repeat([]byte("y"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterFirst := int64(len(storeMagic)) + 1 + recHeaderLen + 5 + 100 + 4
+	s.Close()
+
+	// Tear the tail: cut into the middle of the second record, as a crash
+	// mid-append would.
+	if err := os.Truncate(path, s.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("after torn tail Len = %d, want 1", s2.Len())
+	}
+	if got, err := s2.Get("first"); err != nil || len(got) != 100 {
+		t.Fatalf("first record lost after tail truncation: %d bytes, %v", len(got), err)
+	}
+	if _, err := s2.Get("second"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record still indexed: %v", err)
+	}
+	if s2.Size() != sizeAfterFirst {
+		t.Errorf("recovered size = %d, want %d (torn bytes cut)", s2.Size(), sizeAfterFirst)
+	}
+
+	// The store keeps working after recovery.
+	if err := s2.Append("third", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.Get("third"); string(got) != "z" {
+		t.Errorf("post-recovery append lost: %q", got)
+	}
+}
+
+func TestStoreCorruptionDetected(t *testing.T) {
+	s, path := tempStore(t)
+	if err := s.Append("k", bytes.Repeat([]byte("p"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte (well before the CRC trailer).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-20] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on bit-flipped record = %v, want ErrCorrupt", err)
+	}
+	if _, corrupt := s2.Stats(); corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", corrupt)
+	}
+
+	// A fresh append supersedes the bad record.
+	if err := s2.Append("k", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get("k"); err != nil || string(got) != "recomputed" {
+		t.Fatalf("superseding append: %q, %v", got, err)
+	}
+}
+
+func TestStoreRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store")
+	if err := os.WriteFile(path, []byte("#!/bin/sh\necho hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("OpenStore accepted a non-store file")
+	}
+}
