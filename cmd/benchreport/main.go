@@ -1,29 +1,33 @@
 // Command benchreport runs the repository's headline performance
 // benchmarks and writes a machine-readable JSON report (default
-// BENCH_pr9.json) for CI artifacts and regression tracking:
+// BENCH_pr10.json) for CI artifacts and regression tracking:
 //
-//	go run ./cmd/benchreport            # writes BENCH_pr9.json
+//	go run ./cmd/benchreport            # writes BENCH_pr10.json
 //	go run ./cmd/benchreport -o out.json
 //	go run ./cmd/benchreport -scale=false   # skip the 10k/100k-node runs
 //
 // The report carries ns/op, bytes/op, allocs/op and (where meaningful)
-// simulator events per second for each benchmark, alongside seven frozen
+// simulator events per second for each benchmark, alongside eight frozen
 // baselines those numbers are compared against: the original
 // pre-optimisation measurements (the 2x serial-sweep target is defined
 // against these), the PR-3 numbers (binary-heap scheduler, unbatched
 // insertion), the PR-4 numbers (immediately before the fault layer), the
 // PR-5 numbers (immediately before the mobility subsystem), the PR-6
 // numbers (immediately before the region-parallel engine), the PR-7
-// numbers (immediately before the neighborhood-local mark layout) and
-// the PR-8 numbers (immediately before the content-addressed sweep
-// service — the serial regression budget of < 3% is stated against
-// these).
+// numbers (immediately before the neighborhood-local mark layout), the
+// PR-8 numbers (immediately before the content-addressed sweep service)
+// and the PR-9 numbers (immediately before the fan-out coordinator and
+// the sweep-kind registry — the serial regression budget of < 3% is
+// stated against these).
 //
 // PR 9's serving-layer measurements (ServiceCacheHit, ServiceStoreHit,
 // ServiceSweepMiss, SingleflightContention) cover the content-addressed
 // cache's hit path (key derivation + LRU lookup), a hit forced to the
 // checksummed on-disk store, the cold path end to end on a small sweep,
-// and the singleflight group under all-duplicate contention.
+// and the singleflight group under all-duplicate contention. PR 10 adds
+// FanoutCompose: assembling a full sweep payload from its sub-sweep
+// payloads — the coordinator's own (non-compute) cost per composed
+// sweep.
 //
 // The scale section runs a single 10k-node session on the serial and the
 // region-parallel engine and records the data-phase wall-clock ratio —
@@ -72,7 +76,7 @@ type Measurement struct {
 	HeapBytesPerNode int64 `json:"heap_bytes_per_node,omitempty"`
 }
 
-// Report is the BENCH_pr9.json schema.
+// Report is the BENCH_pr10.json schema.
 type Report struct {
 	Generated   string        `json:"generated"`
 	GoVersion   string        `json:"go_version"`
@@ -86,6 +90,7 @@ type Report struct {
 	BaselinePR6 []Measurement `json:"baseline_pr6"`
 	BaselinePR7 []Measurement `json:"baseline_pr7"`
 	BaselinePR8 []Measurement `json:"baseline_pr8"`
+	BaselinePR9 []Measurement `json:"baseline_pr9"`
 	Current     []Measurement `json:"current"`
 	// Speedup is the headline ratio the 2x serial-sweep target is
 	// stated against: pre-optimisation sweep ns/op over current.
@@ -116,6 +121,12 @@ type Report struct {
 	// optional WorkerState hook), so the Figure-5 sweep must stay within 3%
 	// of PR 8 (values below 0.97 blow the budget).
 	SpeedupPR8 float64 `json:"sweep_speedup_vs_pr8"`
+	// SpeedupPR9 is the serial regression gauge for the fan-out
+	// coordinator and the sweep-kind registry: both are additive (a sweep
+	// submitted through the library dispatches through the same kind hook
+	// the registry formalised), so the Figure-5 sweep must stay within 3%
+	// of PR 9 (values below 0.97 blow the budget).
+	SpeedupPR9 float64 `json:"sweep_speedup_vs_pr9"`
 	// Speedup10k is the parallel engine's headline: wall-clock of the
 	// serial 10k-node data phase over the 8-worker parallel one (the >=3x
 	// target — meaningful only on a multi-core host, see num_cpu).
@@ -251,8 +262,35 @@ var baselinePR8 = []Measurement{
 	{Name: "SessionConstruct100k", NsPerOp: 97077916, HeapBytesPerNode: 1228},
 }
 
+// baselinePR9 is the previous release's measurement set (content-addressed
+// sweep service in place), recorded immediately before the fan-out
+// coordinator and the sweep-kind registry. Re-measured on the host that
+// produces BENCH_pr10.json (BENCH_pr9.json's current section), so the
+// < 3% serial budget is an apples-to-apples same-machine comparison.
+var baselinePR9 = []Measurement{
+	{Name: "GroupSizeSweep/workers=1", NsPerOp: 153885536, BytesPerOp: 8839718, AllocsPerOp: 31697, EventsPerSec: 13497609},
+	{Name: "Fig6RandomOverhead/MTMRP", NsPerOp: 25997479, BytesPerOp: 6484516, AllocsPerOp: 17730, EventsPerSec: 6570323},
+	{Name: "Discovery/MTMRP", NsPerOp: 2573844, BytesPerOp: 989, AllocsPerOp: 1},
+	{Name: "Discovery/ODMRP", NsPerOp: 3037721, BytesPerOp: 1816, AllocsPerOp: 1},
+	{Name: "Discovery/DODMRP", NsPerOp: 2540461, BytesPerOp: 1163, AllocsPerOp: 1},
+	{Name: "TransmitDense/200nodes", NsPerOp: 7032, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "LinkTableBuild/200nodes", NsPerOp: 1376205, BytesPerOp: 1288974, AllocsPerOp: 2704},
+	{Name: "LinkTableMove/200nodes", NsPerOp: 18910, BytesPerOp: 27, AllocsPerOp: 0},
+	{Name: "FaultSweep/workers=1", NsPerOp: 36387752, BytesPerOp: 4366016, AllocsPerOp: 16316, EventsPerSec: 12611151},
+	{Name: "MobilitySweep/workers=1", NsPerOp: 47361314, BytesPerOp: 5257479, AllocsPerOp: 19876, EventsPerSec: 10324532},
+	{Name: "BorderCrossing", NsPerOp: 176, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "ServiceCacheHit", NsPerOp: 1484, BytesPerOp: 568, AllocsPerOp: 10},
+	{Name: "ServiceStoreHit", NsPerOp: 2578, BytesPerOp: 1328, AllocsPerOp: 13},
+	{Name: "ServiceSweepMiss", NsPerOp: 22584569, BytesPerOp: 122734, AllocsPerOp: 414},
+	{Name: "SingleflightContention", NsPerOp: 153, BytesPerOp: 176, AllocsPerOp: 2},
+	{Name: "ParallelRun10k/serial", NsPerOp: 440275430, EventsPerSec: 6780067},
+	{Name: "ParallelRun10k/workers=8", NsPerOp: 723010761, EventsPerSec: 4128703},
+	{Name: "SessionConstruct10k", NsPerOp: 9133610, HeapBytesPerNode: 1230},
+	{Name: "SessionConstruct100k", NsPerOp: 87681388, HeapBytesPerNode: 1228},
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr9.json", "output file")
+	out := flag.String("o", "BENCH_pr10.json", "output file")
 	scale := flag.Bool("scale", true, "run the 10k-node serial-vs-parallel comparison")
 	flag.Parse()
 
@@ -269,6 +307,7 @@ func main() {
 		BaselinePR6: baselinePR6,
 		BaselinePR7: baselinePR7,
 		BaselinePR8: baselinePR8,
+		BaselinePR9: baselinePR9,
 	}
 
 	run := func(name string, events *float64, fn func(b *testing.B)) Measurement {
@@ -609,6 +648,52 @@ func main() {
 		fatal(svcErr)
 	}
 
+	// The coordinator's own cost per composed sweep (first measured in PR
+	// 10): assembling a full payload from pre-computed per-size sub-sweep
+	// payloads — decode, concatenate, re-marshal — with no simulation in
+	// the loop.
+	composeSpec := experiment.SweepSpec{
+		Topo: "grid", Sizes: []int{5, 10, 15, 20}, Runs: 2, Seed: 42,
+		Protocols: []string{"mtmrp", "odmrp"},
+	}
+	composeCanon, err := composeSpec.Canonical()
+	if err != nil {
+		fatal(err)
+	}
+	composeKey, err := composeSpec.Key()
+	if err != nil {
+		fatal(err)
+	}
+	composeSvc, err := service.New(service.Config{SweepWorkers: 2})
+	if err != nil {
+		fatal(err)
+	}
+	composeSubs, err := composeCanon.Split()
+	if err != nil {
+		fatal(err)
+	}
+	subPayloads := make([][]byte, len(composeSubs))
+	for i, sub := range composeSubs {
+		res, err := composeSvc.Sweep(sub)
+		if err != nil {
+			fatal(err)
+		}
+		subPayloads[i] = res.Payload
+	}
+	composeSvc.Close()
+	run("FanoutCompose", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := service.ComposeSweep(composeKey, composeCanon, subPayloads); err != nil {
+				svcErr = err
+				return
+			}
+		}
+	})
+	if svcErr != nil {
+		fatal(svcErr)
+	}
+
 	if *scale {
 		s10k, p10k, err := scale10k()
 		if err != nil {
@@ -639,6 +724,7 @@ func main() {
 		rep.SpeedupPR6 = baselinePR6[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR7 = baselinePR7[0].NsPerOp / sweep.NsPerOp
 		rep.SpeedupPR8 = baselinePR8[0].NsPerOp / sweep.NsPerOp
+		rep.SpeedupPR9 = baselinePR9[0].NsPerOp / sweep.NsPerOp
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -649,8 +735,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.3fx vs pr7, %.3fx vs pr8, 10k parallel %.2fx, %d allocs/op)\n",
-		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR7, rep.SpeedupPR8, rep.Speedup10k, sweep.AllocsPerOp)
+	fmt.Printf("benchreport: wrote %s (sweep %.0f ms/op, %.2fx vs pre-opt, %.3fx vs pr8, %.3fx vs pr9, 10k parallel %.2fx, %d allocs/op)\n",
+		*out, sweep.NsPerOp/1e6, rep.Speedup, rep.SpeedupPR8, rep.SpeedupPR9, rep.Speedup10k, sweep.AllocsPerOp)
 }
 
 // benchBorderCrossing is the body of the BorderCrossing measurement: a

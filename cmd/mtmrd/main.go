@@ -10,6 +10,16 @@
 //	# submit a Figure-5 sweep (first time computes, repeats hit the cache)
 //	curl -s -X POST localhost:8080/v1/sweep -d '{"topo":"grid","runs":100}'
 //
+// With -fanout, the instance becomes a multi-instance coordinator instead:
+// full sweeps are split into per-axis-point sub-jobs, routed to the -peers
+// instance owning each sub-key's range (421 redirects honored), executed
+// with timeouts, retries under jittered exponential backoff, per-peer
+// circuit breakers and optional tail-latency hedging, then composed and
+// cached under the full sweep's key — byte-identical to a single-instance
+// run, with dead owners' ranges recomputed locally.
+//
+//	mtmrd -addr :8090 -fanout -peers http://shard0:8080,http://shard1:8080
+//
 // SIGTERM/SIGINT drains gracefully: cached results keep being served, new
 // computations get 503, in-flight requests finish (up to -drain-timeout),
 // then the store is synced and closed.
@@ -24,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,11 +52,21 @@ func main() {
 		shardIndex   = flag.Int("shard-index", 0, "this instance's shard index")
 		shardCount   = flag.Int("shard-count", 1, "total shards splitting the keyspace")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+
+		fanout        = flag.Bool("fanout", false, "run as a fan-out coordinator over -peers")
+		peers         = flag.String("peers", "", "comma-separated peer base URLs, in shard order (fanout mode)")
+		fanoutTimeout = flag.Duration("fanout-timeout", 10*time.Minute, "per-attempt timeout for peer requests")
+		fanoutRetries = flag.Int("fanout-retries", 2, "retry budget per sub-job after the first attempt")
+		fanoutHedge   = flag.Duration("fanout-hedge", 0, "fire a duplicate request to the next peer after this delay (0 = off)")
+		fanoutProbe   = flag.Duration("fanout-probe", 5*time.Second, "peer health-probe interval")
 	)
 	flag.Parse()
 
 	if *shardIndex < 0 || *shardCount < 1 || *shardIndex >= *shardCount {
 		log.Fatalf("mtmrd: invalid shard %d/%d", *shardIndex, *shardCount)
+	}
+	if *fanout && *shardCount != 1 {
+		log.Fatalf("mtmrd: -fanout requires an unsharded local instance (got -shard-count %d)", *shardCount)
 	}
 
 	svc, err := service.New(service.Config{
@@ -60,7 +81,27 @@ func main() {
 		log.Fatalf("mtmrd: %v", err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *fanout {
+		fan, err := service.NewFanout(svc, service.FanoutConfig{
+			Peers:   splitPeers(*peers),
+			Timeout: *fanoutTimeout,
+			Retries: *fanoutRetries,
+			Hedge:   *fanoutHedge,
+		})
+		if err != nil {
+			svc.Close()
+			log.Fatalf("mtmrd: %v", err)
+		}
+		handler = fan.Handler()
+		if *fanoutProbe > 0 {
+			stop := fan.StartProbing(*fanoutProbe)
+			defer stop()
+		}
+		log.Printf("mtmrd: fan-out coordinator over %d peers: %s", len(splitPeers(*peers)), *peers)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("mtmrd: serving on %s (store %q, shard %d/%d, %d warm pools)",
@@ -88,4 +129,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "mtmrd: drained cleanly")
+}
+
+// splitPeers parses the comma-separated -peers list, dropping empties so
+// trailing commas don't manufacture phantom shards.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -78,6 +78,16 @@ type FaultConfig struct {
 	// crashes; nil (the default) keeps the study crash-only.
 	Loss *channel.LossConfig
 
+	// ValueLabels switches round labels from axis-index form
+	// ("fault-<topo>-<idx>-<run>") to axis-value form
+	// ("fault-<topo>-<frac>-<run>"). A job's RNG derives from its label, so
+	// value labels make every cell a pure function of (topo, fraction, run)
+	// independent of the fraction set — per-fraction sub-sweeps then compose
+	// bit-identically with the full sweep, which is what the sweep-kind
+	// registry's Split relies on. Off by default: the index labels are
+	// frozen into the golden fault tables.
+	ValueLabels bool
+
 	Engine EngineOptions // worker pool, cancellation, progress, errors
 
 	// Workers is a convenience alias for Engine.Workers.
@@ -145,6 +155,9 @@ func FaultSweep(cfg FaultConfig) (*FaultResult, error) {
 	// index, run), never on worker identity.
 	total := len(fracs) * cfg.Runs
 	label := func(i int) string {
+		if cfg.ValueLabels {
+			return fmt.Sprintf("fault-%s-%g-%d", cfg.Topo, fracs[i%len(fracs)], i/len(fracs))
+		}
 		return fmt.Sprintf("fault-%s-%d-%d", cfg.Topo, i%len(fracs), i/len(fracs))
 	}
 	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,

@@ -90,6 +90,16 @@ type MobilityConfig struct {
 
 	// Workers is a convenience alias for Engine.Workers.
 	Workers int
+
+	// ValueLabels switches round labels from axis-index form
+	// ("mobility-<topo>-<idx>-<run>") to axis-value form
+	// ("mobility-<topo>-<speed>-<pauseMs>-<run>"). A job's RNG derives from
+	// its label, so value labels make every cell a pure function of (topo,
+	// speed, pause, run) independent of the point set — per-point sub-sweeps
+	// then compose bit-identically with the full sweep, which is what the
+	// sweep-kind registry's Split relies on. Off by default: the index
+	// labels are frozen into the golden mobility tables.
+	ValueLabels bool
 }
 
 // Points expands the configured speed and pause axes into the sweep's
@@ -167,6 +177,11 @@ func MobilitySweep(cfg MobilityConfig) (*MobilityResult, error) {
 	// run), never on worker identity.
 	total := len(points) * cfg.Runs
 	label := func(i int) string {
+		if cfg.ValueLabels {
+			pt := points[i%len(points)]
+			return fmt.Sprintf("mobility-%s-%g-%g-%d", cfg.Topo,
+				pt.Speed, float64(pt.Pause)/float64(sim.Millisecond), i/len(points))
+		}
 		return fmt.Sprintf("mobility-%s-%d-%d", cfg.Topo, i%len(points), i/len(points))
 	}
 	outs, st, err := sweep.Run(engineConfig(cfg.Seed, cfg.Engine), total, label,

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"mtmrp/internal/channel"
@@ -49,10 +48,16 @@ const (
 
 // Spec validation errors.
 var (
-	ErrSpecTopo     = errors.New("spec: unknown topology kind (want \"grid\" or \"random\")")
-	ErrSpecProtocol = errors.New("spec: unknown protocol")
-	ErrSpecSizes    = errors.New("spec: group sizes must be positive")
-	ErrSpecNodes    = errors.New("spec: random topology needs at least 2 nodes")
+	ErrSpecTopo      = errors.New("spec: unknown topology kind (want \"grid\" or \"random\")")
+	ErrSpecProtocol  = errors.New("spec: unknown protocol")
+	ErrSpecSizes     = errors.New("spec: group sizes must be positive")
+	ErrSpecNodes     = errors.New("spec: random topology needs at least 2 nodes")
+	ErrSpecKind      = errors.New("spec: unknown sweep kind")
+	ErrSpecKindField = errors.New("spec: field not valid for this sweep kind")
+	ErrSpecFractions = errors.New("spec: fail fractions must be within [0, 1]")
+	ErrSpecSpeeds    = errors.New("spec: speeds must be non-negative")
+	ErrSpecTiming    = errors.New("spec: timing and count fields must be non-negative")
+	ErrSpecModel     = errors.New("spec: unknown mobility model")
 )
 
 // ParseProtocol resolves a wire-level protocol name. Accepted spellings
@@ -108,18 +113,26 @@ func keyOf(kind string, canonical []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// SweepSpec is the wire form of a Figure 5/6 group-size sweep: the exact
-// Monte-Carlo study GroupSizeSweep runs, addressed by content. Zero fields
-// take the paper's defaults (sizes 5..60 step 5, 100 runs, the four
-// comparison protocols, N=4, δ=1 ms).
+// SweepSpec is the wire form of a Monte-Carlo sweep, addressed by content.
+// Kind selects the sweep family (the registry in spec_kinds.go): the
+// default group-size sweep of Figures 5/6, the fault-robustness sweep or
+// the mobility sweep. Zero fields take each kind's paper defaults — for
+// group-size: sizes 5..60 step 5, 100 runs, the four comparison protocols,
+// N=4, δ=1 ms. Fields beyond the kind's own axis set must stay zero;
+// Canonical rejects kind-foreign fields rather than silently hashing them.
 type SweepSpec struct {
+	// Kind is the sweep family: "" or "group-size" (Figures 5/6),
+	// "fault" or "mobility". Canonical keeps the group-size kind spelled
+	// "" so every pre-registry spec hashes to its original key.
+	Kind string `json:"kind,omitempty"`
 	// Topo is the topology family: "grid" (Fig. 5) or "random" (Fig. 6).
 	Topo string `json:"topo"`
-	// Sizes are the multicast group sizes swept. Order and duplicates do
-	// not matter: per-cell results depend only on (size, run) — the sweep
-	// labels its rounds that way — so Canonical sorts and dedups.
+	// Sizes are the multicast group sizes swept (group-size kind only).
+	// Order and duplicates do not matter: per-cell results depend only on
+	// (size, run) — the sweep labels its rounds that way — so Canonical
+	// sorts and dedups.
 	Sizes []int `json:"sizes,omitempty"`
-	// Runs is the Monte-Carlo round count per size.
+	// Runs is the Monte-Carlo round count per axis point.
 	Runs int `json:"runs,omitempty"`
 	// Seed is the sweep's root seed.
 	Seed uint64 `json:"seed,omitempty"`
@@ -128,41 +141,52 @@ type SweepSpec struct {
 	// its randomness from its own derived stream, so per-protocol cells
 	// are independent of the protocol set; Canonical sorts and dedups.
 	Protocols []string `json:"protocols,omitempty"`
-	// N and DeltaMs are the biased-backoff parameters.
+	// N and DeltaMs are the biased-backoff parameters (group-size kind).
 	N       int     `json:"n,omitempty"`
 	DeltaMs float64 `json:"delta_ms,omitempty"`
+
+	// Axis-point shape shared by the fault and mobility kinds (defaults:
+	// group 20, 20 packets 50 ms apart, 200 ms refresh, 300 ms expiry).
+	GroupSize         int     `json:"group_size,omitempty"`
+	Packets           int     `json:"packets,omitempty"`
+	IntervalMs        float64 `json:"interval_ms,omitempty"`
+	RefreshIntervalMs float64 `json:"refresh_interval_ms,omitempty"`
+	ForwarderExpiryMs float64 `json:"forwarder_expiry_ms,omitempty"`
+
+	// Fault kind: the crash-probability axis and the plan window (defaults
+	// fractions {0,.05,.1,.2,.3}, onset 1200 ms over an 800 ms window,
+	// permanent crashes, no ambient loss).
+	FailFractions []float64 `json:"fail_fractions,omitempty"`
+	StartMs       float64   `json:"start_ms,omitempty"`
+	WindowMs      float64   `json:"window_ms,omitempty"`
+	DowntimeMs    float64   `json:"downtime_ms,omitempty"`
+	Loss          bool      `json:"loss,omitempty"`
+
+	// Mobility kind: the (speed, pause) grid and motion model (defaults
+	// waypoint, speeds {0,5,10,20} m/s, pauses {0,500} ms).
+	Model    string    `json:"model,omitempty"`
+	Speeds   []float64 `json:"speeds,omitempty"`
+	PausesMs []float64 `json:"pauses_ms,omitempty"`
 }
 
-// Canonical returns the spec's normal form: defaults applied, sizes
-// sorted and deduped, protocols resolved to canonical names, sorted in
-// enum order and deduped. Two specs describing the same sweep canonicalize
-// identically, which is what makes Key a content address rather than a
-// spelling address.
+// Canonical returns the spec's normal form: the kind resolved, defaults
+// applied, axes sorted and deduped, protocols resolved to canonical names,
+// sorted in enum order and deduped, kind-foreign fields rejected. Two
+// specs describing the same sweep canonicalize identically, which is what
+// makes Key a content address rather than a spelling address.
 func (s SweepSpec) Canonical() (SweepSpec, error) {
-	c := SweepSpec{Topo: strings.ToLower(strings.TrimSpace(s.Topo)), Runs: s.Runs, Seed: s.Seed, N: s.N, DeltaMs: s.DeltaMs}
+	k, err := sweepKindOf(s.Kind)
+	if err != nil {
+		return s, err
+	}
+	c := s
+	c.Kind = k.name
+	c.Topo = strings.ToLower(strings.TrimSpace(s.Topo))
 	if c.Topo == "" {
 		c.Topo = "grid"
 	}
 	if c.Topo != "grid" && c.Topo != "random" {
 		return c, fmt.Errorf("%w: %q", ErrSpecTopo, s.Topo)
-	}
-	if c.Runs <= 0 {
-		c.Runs = 100
-	}
-	if c.N == 0 {
-		c.N = 4
-	}
-	if c.DeltaMs == 0 {
-		c.DeltaMs = 1
-	}
-	c.Sizes = append([]int(nil), s.Sizes...)
-	if len(c.Sizes) == 0 {
-		c.Sizes = PaperSizes()
-	}
-	sort.Ints(c.Sizes)
-	c.Sizes = dedupInts(c.Sizes)
-	if c.Sizes[0] <= 0 {
-		return c, ErrSpecSizes
 	}
 	protos, err := parseProtocolSet(s.Protocols)
 	if err != nil {
@@ -172,7 +196,24 @@ func (s SweepSpec) Canonical() (SweepSpec, error) {
 	for i, p := range protos {
 		c.Protocols[i] = protocolSpecName(p)
 	}
+	if err := k.canonicalize(&c); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// Metrics returns the kind's metric names, index-aligned with the metric
+// axis of the cell vectors the kind's run hook emits.
+func (s SweepSpec) Metrics() ([]string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	k, err := sweepKindOf(c.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), k.metrics...), nil
 }
 
 // Key canonicalizes the spec and returns its content address. Equal keys
@@ -189,13 +230,18 @@ func (s SweepSpec) Key() (string, error) {
 	return keyOf("sweep", enc), nil
 }
 
-// SweepConfig converts a canonical spec into the GroupSizeSweep driver
-// configuration (engine knobs are the caller's: workers, context, progress
-// are performance/operational concerns outside the content address).
+// SweepConfig converts a canonical group-size spec into the GroupSizeSweep
+// driver configuration (engine knobs are the caller's: workers, context,
+// progress are performance/operational concerns outside the content
+// address). Other kinds run through RunSweepFromSpec, which dispatches to
+// their own drivers.
 func (s SweepSpec) SweepConfig() (SweepConfig, error) {
 	c, err := s.Canonical()
 	if err != nil {
 		return SweepConfig{}, err
+	}
+	if c.Kind != "" {
+		return SweepConfig{}, fmt.Errorf("spec: SweepConfig is only defined for the group-size kind (got %q)", c.Kind)
 	}
 	kind := GridTopo
 	if c.Topo == "random" {
@@ -211,25 +257,25 @@ func (s SweepSpec) SweepConfig() (SweepConfig, error) {
 	}, nil
 }
 
-// Split partitions a sweep into one single-size sub-sweep per group size.
-// The sweep engine labels every round "round-<topo>-<size>-<run>" — a pure
-// function of (size, run), independent of the size set — so each sub-sweep
-// computes exactly the cells the full sweep would, bit for bit
-// (TestSweepSplitComposes pins this). Sub-sweeps hash to their own keys,
-// which is the shardable job-ID scheme: a front-end fans the sub-specs out
-// to the instances owning their key ranges and composes the cells.
+// Split partitions a sweep into one sub-sweep per axis point: per group
+// size (group-size kind), per fail fraction (fault kind) or per
+// (speed, pause) point (mobility kind). Every kind labels its rounds as a
+// pure function of (axis value, run), independent of the axis set, so each
+// sub-sweep computes exactly the cells the full sweep would, bit for bit
+// (TestSweepSplitComposes and the kind variants pin this). Sub-sweeps hash
+// to their own keys, which is the shardable job-ID scheme: a fan-out
+// front-end routes the sub-specs to the instances owning their key ranges
+// and composes the cells (service.ComposeSweep).
 func (s SweepSpec) Split() ([]SweepSpec, error) {
 	c, err := s.Canonical()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SweepSpec, len(c.Sizes))
-	for i, size := range c.Sizes {
-		sub := c
-		sub.Sizes = []int{size}
-		out[i] = sub
+	k, err := sweepKindOf(c.Kind)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return k.split(c), nil
 }
 
 // TopoSpec describes the deployment of a RunSpec. Kind "grid" is the
@@ -437,7 +483,7 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 		c.Mobility.Model = "waypoint"
 	case "rpgm":
 	default:
-		return c, fmt.Errorf("spec: unknown mobility model %q", s.Mobility.Model)
+		return c, fmt.Errorf("%w %q", ErrSpecModel, s.Mobility.Model)
 	}
 	if c.Mobility.Model != "" {
 		if c.Mobility.MaxSpeed <= 0 {

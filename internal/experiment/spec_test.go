@@ -160,6 +160,172 @@ func TestSweepSplitComposes(t *testing.T) {
 	}
 }
 
+// TestSweepKindCanonicalization checks the kind registry's normal forms:
+// alias spellings land on the canonical kind (group-size on "", so every
+// pre-registry spec hashes unchanged), defaults fill in per kind, and
+// kind-foreign fields are rejected rather than silently hashed.
+func TestSweepKindCanonicalization(t *testing.T) {
+	// Aliases hash identically to their canonical kind.
+	plainKey, err := SweepSpec{Runs: 7}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alias := range []string{"group-size", "group_size", "Groupsize"} {
+		k, err := SweepSpec{Kind: alias, Runs: 7}.Key()
+		if err != nil {
+			t.Fatalf("alias %q: %v", alias, err)
+		}
+		if k != plainKey {
+			t.Errorf("kind %q hashed differently from the bare spec", alias)
+		}
+	}
+	faultKey, err := SweepSpec{Kind: "fault", Seed: 2}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultsKey, err := SweepSpec{Kind: "Faults", Seed: 2}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultKey != faultsKey {
+		t.Error("fault kind aliases hashed differently")
+	}
+	if faultKey == plainKey {
+		t.Error("fault sweep collided with a group-size sweep")
+	}
+
+	// Canonical defaults per kind.
+	fc, err := SweepSpec{Kind: "fault"}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFault := SweepSpec{
+		Kind: "fault", Topo: "grid", Runs: 20,
+		Protocols: []string{"mtmrp", "mtmrp-nophs", "dodmrp", "odmrp"},
+		GroupSize: 20, Packets: 20, IntervalMs: 50, RefreshIntervalMs: 200,
+		ForwarderExpiryMs: 300, FailFractions: []float64{0, 0.05, 0.1, 0.2, 0.3},
+		StartMs: 1200, WindowMs: 800,
+	}
+	if !reflect.DeepEqual(fc, wantFault) {
+		t.Errorf("fault canonical form = %+v, want %+v", fc, wantFault)
+	}
+	mc, err := SweepSpec{Kind: "mobility", Speeds: []float64{10, 5, 10}}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMob := SweepSpec{
+		Kind: "mobility", Topo: "grid", Runs: 20,
+		Protocols: []string{"mtmrp", "mtmrp-nophs", "dodmrp", "odmrp"},
+		GroupSize: 20, Packets: 20, IntervalMs: 50, RefreshIntervalMs: 200,
+		ForwarderExpiryMs: 300, Model: "waypoint",
+		Speeds: []float64{5, 10}, PausesMs: []float64{0, 500},
+	}
+	if !reflect.DeepEqual(mc, wantMob) {
+		t.Errorf("mobility canonical form = %+v, want %+v", mc, wantMob)
+	}
+
+	// Kind metric axes.
+	names, err := SweepSpec{Kind: "fault"}.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"mean_pdr", "min_pdr", "repairs", "repair_time_ms"}) {
+		t.Errorf("fault metrics = %v", names)
+	}
+	names, err = SweepSpec{}.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"overhead", "extra_nodes", "relay_profit", "delivery"}) {
+		t.Errorf("group-size metrics = %v", names)
+	}
+
+	// Rejection paths: unknown kinds, kind-foreign fields, bad axes.
+	bad := []SweepSpec{
+		{Kind: "tuning"},
+		{FailFractions: []float64{0.1}},                  // fault field on group-size
+		{Speeds: []float64{5}},                           // mobility field on group-size
+		{Kind: "fault", Sizes: []int{5}},                 // group-size field on fault
+		{Kind: "fault", Model: "waypoint"},               // mobility field on fault
+		{Kind: "mobility", Loss: true},                   // fault field on mobility
+		{Kind: "mobility", N: 4},                         // backoff params are group-size-only
+		{Kind: "fault", FailFractions: []float64{1.5}},   // out of range
+		{Kind: "fault", IntervalMs: -1},                  // negative timing
+		{Kind: "mobility", Speeds: []float64{-3}},        // negative speed
+		{Kind: "mobility", Model: "brownian"},            // unknown model
+		{Kind: "group-size", RefreshIntervalMs: 200},     // axis-shape field on group-size
+	}
+	for i, s := range bad {
+		if _, err := s.Key(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestFaultKindSplitComposes pins the shardable-job property for the fault
+// kind: per-fraction sub-sweeps (value-labelled rounds) compute exactly
+// the cells of the full sweep.
+func TestFaultKindSplitComposes(t *testing.T) {
+	spec := SweepSpec{Kind: "fault", FailFractions: []float64{0, 0.2}, Runs: 1,
+		GroupSize: 5, Packets: 2, Seed: 9, Protocols: []string{"mtmrp", "odmrp"}}
+	full, err := RunSweepFromSpec(spec, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := spec.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("split into %d sub-sweeps, want 2", len(subs))
+	}
+	for si, sub := range subs {
+		part, err := RunSweepFromSpec(sub, EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range full {
+			if len(part[pi].Cells) != 1 {
+				t.Fatalf("sub-sweep %d protocol %d has %d rows, want 1", si, pi, len(part[pi].Cells))
+			}
+			if !reflect.DeepEqual(part[pi].Cells[0], full[pi].Cells[si]) {
+				t.Errorf("%s fraction %d: sub-sweep cells diverged from the full sweep",
+					part[pi].Protocol, si)
+			}
+		}
+	}
+}
+
+// TestMobilityKindSplitComposes pins the same property for the mobility
+// kind's (speed, pause) axis.
+func TestMobilityKindSplitComposes(t *testing.T) {
+	spec := SweepSpec{Kind: "mobility", Speeds: []float64{0, 10}, PausesMs: []float64{0},
+		Runs: 1, GroupSize: 5, Packets: 2, Seed: 9, Protocols: []string{"mtmrp", "odmrp"}}
+	full, err := RunSweepFromSpec(spec, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := spec.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("split into %d sub-sweeps, want 2", len(subs))
+	}
+	for si, sub := range subs {
+		part, err := RunSweepFromSpec(sub, EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range full {
+			if !reflect.DeepEqual(part[pi].Cells[0], full[pi].Cells[si]) {
+				t.Errorf("%s point %d: sub-sweep cells diverged from the full sweep",
+					part[pi].Protocol, si)
+			}
+		}
+	}
+}
+
 // TestRunFromSpecDeterministic pins the property the cache key certifies:
 // a run spec is a pure function — fresh vs. pooled execution and repeated
 // materialisation all yield identical results, and the stochastic pieces
@@ -221,6 +387,10 @@ func goldenSpecs() (sweeps map[string]SweepSpec, runs map[string]RunSpec) {
 		"small-grid-pair": {Sizes: []int{20, 10}, Runs: 5, Protocols: []string{"ODMRP", "mtmrp"}},
 		"tuned-n8-delta2": {N: 8, DeltaMs: 2, Seed: 1},
 		"flooding-vs-gmr": {Protocols: []string{"flooding", "gmr"}, Runs: 10},
+		"fault-default":   {Kind: "fault", Seed: 11},
+		"fault-lossy":     {Kind: "faults", FailFractions: []float64{0.3, 0.1}, Loss: true, DowntimeMs: 400, Runs: 5, Seed: 11},
+		"mobility-rwp":    {Kind: "mobility", Seed: 12},
+		"mobility-rpgm":   {Kind: "mobility", Model: "RPGM", Speeds: []float64{10, 5}, PausesMs: []float64{0}, Runs: 4, Seed: 12},
 	}
 	runs = map[string]RunSpec{
 		"default":       {},

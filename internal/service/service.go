@@ -10,7 +10,6 @@ import (
 
 	"mtmrp/internal/experiment"
 	"mtmrp/internal/metrics"
-	"mtmrp/internal/stats"
 )
 
 // Serving errors.
@@ -21,7 +20,27 @@ var (
 	// ErrNotOwned reports a key outside this instance's shard; the
 	// response names the owning shard so the caller can re-route.
 	ErrNotOwned = errors.New("service: key owned by another shard")
+	// ErrBadKey reports a malformed result key: keys are the lowercase hex
+	// of a SHA-256, nothing else reaches the store lookup.
+	ErrBadKey = errors.New("service: malformed key (want 64 lowercase hex digits)")
 )
+
+// ValidKey reports whether key is a well-formed content address. Keys the
+// service mints are always the 64-digit lowercase hex of a SHA-256; the
+// HTTP layer rejects anything else before the store lookup, so a typo'd
+// key reads as 400 bad_key, not as 404 "not computed yet".
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // Config parameterises a Service. The zero value is a single-shard,
 // memory-only service with small defaults.
@@ -195,13 +214,11 @@ func (s *Service) serve(key string, compute func() ([]byte, error)) (Result, err
 	return Result{Key: key, Source: "computed", Shared: shared, Payload: payload}, nil
 }
 
-// metricNames are the payload's metric axis, in experiment.Metric order.
-var metricNames = []string{"overhead", "extra_nodes", "relay_profit", "delivery"}
-
-// SweepPayload is the stored/served result of a sweep spec. It carries
-// only deterministic data — canonical spec and per-cell summaries, no
-// wall-clock engine stats — so recomputation is byte-identical and a
-// cached payload can be compared bit for bit against a fresh run.
+// SweepPayload is the stored/served result of a sweep spec (any kind). It
+// carries only deterministic data — canonical spec, the kind's metric
+// names and per-cell summaries, no wall-clock engine stats — so
+// recomputation is byte-identical and a cached payload can be compared bit
+// for bit against a fresh run.
 type SweepPayload struct {
 	Key     string               `json:"key"`
 	Kind    string               `json:"kind"`
@@ -210,11 +227,10 @@ type SweepPayload struct {
 	Curves  []SweepCurve         `json:"curves"`
 }
 
-// SweepCurve is one protocol's summaries: Cells[sizeIdx][metric].
-type SweepCurve struct {
-	Protocol string            `json:"protocol"`
-	Cells    [][]stats.Summary `json:"cells"`
-}
+// SweepCurve is one protocol's summaries, Cells[axisIdx][metric] — the
+// sweep-kind registry's shared cell layout, axis-major so the fan-out
+// composer concatenates sub-sweep rows along the outer dimension.
+type SweepCurve = experiment.SweepCells
 
 // RunPayload is the stored/served result of a run spec.
 type RunPayload struct {
@@ -225,37 +241,31 @@ type RunPayload struct {
 	Robustness metrics.Robustness `json:"robustness"`
 }
 
-// computeSweep executes the sweep on bank-loaned worker pools, publishing
-// progress to key's streaming subscribers, and marshals the payload once.
+// computeSweep executes the sweep on bank-loaned worker pools through its
+// kind's run hook, publishing progress to key's streaming subscribers, and
+// marshals the payload once.
 func (s *Service) computeSweep(key string, spec experiment.SweepSpec) ([]byte, error) {
 	canon, err := spec.Canonical()
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := canon.SweepConfig()
+	metricNames, err := canon.Metrics()
 	if err != nil {
 		return nil, err
 	}
 	state, release := s.bank.WorkerState()
 	defer release()
-	cfg.Engine = experiment.EngineOptions{
+	curves, err := experiment.RunSweepFromSpec(canon, experiment.EngineOptions{
 		Workers:     s.cfg.SweepWorkers,
 		Progress:    s.jobs.progressFunc(key),
 		WorkerState: state,
-	}
-	res, err := experiment.GroupSizeSweep(cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	payload := SweepPayload{Key: key, Kind: "sweep", Spec: canon, Metrics: metricNames}
-	for _, name := range canon.Protocols {
-		p, err := experiment.ParseProtocol(name)
-		if err != nil {
-			return nil, err
-		}
-		payload.Curves = append(payload.Curves, SweepCurve{Protocol: name, Cells: res.Summary[p]})
-	}
-	return json.Marshal(payload)
+	return json.Marshal(SweepPayload{
+		Key: key, Kind: "sweep", Spec: canon, Metrics: metricNames, Curves: curves,
+	})
 }
 
 // computeRun executes the session on a bank-loaned pool and marshals the
@@ -275,6 +285,21 @@ func (s *Service) computeRun(key string, spec experiment.RunSpec) ([]byte, error
 		Key: key, Kind: "run", Spec: canon,
 		Result: out.Result, Robustness: out.Robustness,
 	})
+}
+
+// PutComposed stores an externally composed payload under key, exactly as
+// if this instance had computed it: appended to the store (when one is
+// open) and cached. The fan-out coordinator calls it with the composed
+// full-sweep payload so a repeat submission of the full spec is a plain
+// single-instance cache hit.
+func (s *Service) PutComposed(key string, payload []byte) error {
+	if s.store != nil {
+		if err := s.store.Append(key, payload); err != nil {
+			return fmt.Errorf("service: storing composed result: %w", err)
+		}
+	}
+	s.cache.Add(key, payload)
+	return nil
 }
 
 // Drain stops accepting new computations; cache and store hits (and
@@ -316,6 +341,10 @@ type Stats struct {
 
 	ShardIndex int `json:"shard_index"`
 	ShardCount int `json:"shard_count"`
+
+	// Fanout carries the coordinator's per-peer circuit state and fan-out
+	// counters; nil (omitted) on plain instances.
+	Fanout *FanoutStats `json:"fanout,omitempty"`
 }
 
 // StatsSnapshot collects the current counters.
@@ -367,10 +396,61 @@ func decodeSpec(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+// APIError is the structured error envelope every /v1/* endpoint writes:
+// a human-readable message, a stable machine code, the key when one was
+// resolved, and per-sub-job detail on fan-out partial failures. Status
+// codes are unchanged from the bare-text era; the envelope only replaces
+// the body.
+type APIError struct {
+	Error string     `json:"error"`
+	Code  string     `json:"code"`
+	Key   string     `json:"key,omitempty"`
+	Subs  []SubError `json:"subs,omitempty"`
+}
+
+// SubError is one failed sub-job inside a fan-out error envelope.
+type SubError struct {
+	Key   string `json:"key"`
+	Error string `json:"error"`
+}
+
+// errCode maps a serving error to the envelope's stable code.
+func errCode(status int, err error) string {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrNotOwned):
+		return "not_owned"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrBadKey):
+		return "bad_key"
+	case isFanoutErr(err):
+		return "upstream_failed"
+	case status == http.StatusBadRequest:
+		return "bad_spec"
+	}
+	return "internal"
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorKeyed(w, status, "", err)
+}
+
+// writeErrorKeyed writes the envelope with the resolved key (when known)
+// and, for fan-out failures, the per-sub-job detail.
+func writeErrorKeyed(w http.ResponseWriter, status int, key string, err error) {
+	env := APIError{Error: err.Error(), Code: errCode(status, err), Key: key}
+	var fe *FanoutError
+	if errors.As(err, &fe) {
+		env.Subs = fe.Subs
+		if env.Key == "" {
+			env.Key = fe.Key
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(env)
 }
 
 // errStatus maps a serving error to its HTTP status.
@@ -382,9 +462,18 @@ func errStatus(err error) int {
 		return http.StatusMisdirectedRequest
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrBadKey):
+		return http.StatusBadRequest
+	case isFanoutErr(err):
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+func isFanoutErr(err error) bool {
+	var fe *FanoutError
+	return errors.As(err, &fe)
 }
 
 // writeResult writes a served payload with the cache headers the smoke
@@ -398,7 +487,7 @@ func (s *Service) writeResult(w http.ResponseWriter, res Result, err error) {
 		if errors.Is(err, ErrNotOwned) {
 			w.Header().Set("X-Mtmrd-Owner", fmt.Sprint(s.cfg.Shard.Owner(res.Key)))
 		}
-		writeError(w, errStatus(err), err)
+		writeErrorKeyed(w, errStatus(err), res.Key, err)
 		return
 	}
 	cache := "miss"
@@ -550,7 +639,12 @@ func (s *Service) handleSplit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
-	res, err := s.Lookup(r.PathValue("key"))
+	key := r.PathValue("key")
+	if !ValidKey(key) {
+		writeErrorKeyed(w, http.StatusBadRequest, key, ErrBadKey)
+		return
+	}
+	res, err := s.Lookup(key)
 	s.writeResult(w, res, err)
 }
 
@@ -574,6 +668,12 @@ func isSpecErr(err error) bool {
 		errors.Is(err, experiment.ErrSpecProtocol) ||
 		errors.Is(err, experiment.ErrSpecSizes) ||
 		errors.Is(err, experiment.ErrSpecNodes) ||
+		errors.Is(err, experiment.ErrSpecKind) ||
+		errors.Is(err, experiment.ErrSpecKindField) ||
+		errors.Is(err, experiment.ErrSpecFractions) ||
+		errors.Is(err, experiment.ErrSpecSpeeds) ||
+		errors.Is(err, experiment.ErrSpecTiming) ||
+		errors.Is(err, experiment.ErrSpecModel) ||
 		errors.Is(err, experiment.ErrMobilityUnpaced) ||
 		errors.Is(err, experiment.ErrMobilitySpeed)
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -598,6 +599,170 @@ func TestPrewarmedPoolsAreInvisible(t *testing.T) {
 	}
 	if free, created := warm.bank.Size(); free != 2 || created != 2 {
 		t.Errorf("bank after sweep: free %d created %d, want the 2 warmed pools back", free, created)
+	}
+}
+
+// TestErrorEnvelope pins the structured error body on every /v1/* failure
+// path: same status codes as before, JSON envelope with a stable machine
+// code instead of plain text.
+func TestErrorEnvelope(t *testing.T) {
+	svc := newTestService(t, Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	decode := func(t *testing.T, b []byte) APIError {
+		t.Helper()
+		var env APIError
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatalf("error body is not an envelope: %v (%s)", err, b)
+		}
+		if env.Error == "" {
+			t.Fatal("envelope has an empty error message")
+		}
+		return env
+	}
+
+	// Malformed key: rejected as bad_key before any lookup, not a 404.
+	resp, b := getResp(t, ts.URL+"/v1/result/not-a-key")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed key: status %d, want 400", resp.StatusCode)
+	}
+	if env := decode(t, b); env.Code != "bad_key" {
+		t.Errorf("malformed key: code %q, want bad_key", env.Code)
+	}
+	// Uppercase hex is malformed too: keys are canonical lowercase.
+	resp, b = getResp(t, ts.URL+"/v1/result/"+strings.Repeat("A", 64))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("uppercase key: status %d, want 400", resp.StatusCode)
+	}
+
+	// Well-formed but absent key: still a 404, now with code not_found.
+	absent := strings.Repeat("0", 64)
+	resp, b = getResp(t, ts.URL+"/v1/result/"+absent)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent key: status %d, want 404", resp.StatusCode)
+	}
+	if env := decode(t, b); env.Code != "not_found" || env.Key != absent {
+		t.Errorf("absent key: code %q key %q, want not_found/%s", env.Code, env.Key, absent)
+	}
+
+	// Spec rejection: bad_spec.
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"topo":"bogus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d, want 400", resp2.StatusCode)
+	}
+	if env := decode(t, b); env.Code != "bad_spec" {
+		t.Errorf("bad spec: code %q, want bad_spec", env.Code)
+	}
+
+	// Key owned by another shard: 421 with code not_owned.
+	spec := tinySweep()
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := Shard{Count: 2}.Owner(key)
+	other := newTestService(t, Config{Shard: Shard{Index: 1 - owner, Count: 2}})
+	ts2 := httptest.NewServer(other.Handler())
+	defer ts2.Close()
+	body, _ := json.Marshal(spec)
+	resp2, err = http.Post(ts2.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("wrong shard: status %d, want 421", resp2.StatusCode)
+	}
+	if env := decode(t, b); env.Code != "not_owned" {
+		t.Errorf("wrong shard: code %q, want not_owned", env.Code)
+	}
+	if got := resp2.Header.Get("X-Mtmrd-Owner"); got != fmt.Sprint(owner) {
+		t.Errorf("X-Mtmrd-Owner = %q, want %d", got, owner)
+	}
+}
+
+// TestSweepKindsOverHTTP round-trips the registry's fault and mobility
+// kinds through POST /v1/sweep: the kind dispatches, the payload carries
+// the kind's metric axis and canonical spec, and a repeat is a cache hit.
+func TestSweepKindsOverHTTP(t *testing.T) {
+	svc := newTestService(t, Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name    string
+		body    string
+		kind    string
+		metrics []string
+		rows    int
+	}{
+		{
+			name:    "fault",
+			body:    `{"kind":"fault","fail_fractions":[0,0.2],"runs":1,"group_size":5,"packets":2,"seed":7,"protocols":["mtmrp","odmrp"]}`,
+			kind:    "fault",
+			metrics: []string{"mean_pdr", "min_pdr", "repairs", "repair_time_ms"},
+			rows:    2,
+		},
+		{
+			name:    "mobility",
+			body:    `{"kind":"mobility","speeds":[0,5],"pauses_ms":[0],"runs":1,"group_size":5,"packets":2,"seed":7,"protocols":["mtmrp","odmrp"]}`,
+			kind:    "mobility",
+			metrics: []string{"mean_pdr", "min_pdr", "control_tx", "repairs"},
+			rows:    2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, first)
+			}
+			var pl SweepPayload
+			if err := json.Unmarshal(first, &pl); err != nil {
+				t.Fatal(err)
+			}
+			if pl.Kind != "sweep" || pl.Spec.Kind != tc.kind {
+				t.Fatalf("payload kind %q spec kind %q, want sweep/%s", pl.Kind, pl.Spec.Kind, tc.kind)
+			}
+			if len(pl.Metrics) != len(tc.metrics) {
+				t.Fatalf("metrics = %v, want %v", pl.Metrics, tc.metrics)
+			}
+			for i, m := range tc.metrics {
+				if pl.Metrics[i] != m {
+					t.Fatalf("metrics = %v, want %v", pl.Metrics, tc.metrics)
+				}
+			}
+			if len(pl.Curves) != 2 || len(pl.Curves[0].Cells) != tc.rows ||
+				len(pl.Curves[0].Cells[0]) != len(tc.metrics) {
+				t.Fatalf("curves %d x %d rows, want 2 x %d", len(pl.Curves), len(pl.Curves[0].Cells), tc.rows)
+			}
+
+			resp, err = http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if c := resp.Header.Get("X-Mtmrd-Cache"); c != "hit" {
+				t.Fatalf("repeat: X-Mtmrd-Cache = %q, want hit", c)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatal("repeat payload diverged")
+			}
+		})
 	}
 }
 
